@@ -1,0 +1,112 @@
+//! Substrate bench: fault-aware collectives of the `ftmpi` runtime
+//! (the operations the proposal re-enables via `validate_all`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftmpi::{run, UniverseConfig, WORLD};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &ranks in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("barrier_x10", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let report = run(ranks, UniverseConfig::default(), |p| {
+                    for _ in 0..10 {
+                        p.barrier(WORLD)?;
+                    }
+                    Ok(())
+                });
+                assert!(report.all_ok());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bcast_x10", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let report = run(ranks, UniverseConfig::default(), |p| {
+                    let mut acc = 0i64;
+                    for i in 0..10i64 {
+                        let v = (p.world_rank() == 0).then_some(i);
+                        acc += p.bcast(WORLD, 0, v.as_ref())?;
+                    }
+                    Ok(acc)
+                });
+                assert!(report.all_ok());
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bcast_linear_x10", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), |p| {
+                        let mut acc = 0i64;
+                        for i in 0..10i64 {
+                            let v = (p.world_rank() == 0).then_some(i);
+                            acc += p.bcast_linear(WORLD, 0, v.as_ref())?;
+                        }
+                        Ok(acc)
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce_tree_x10", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), |p| {
+                        let mut acc = 0u64;
+                        for _ in 0..10 {
+                            acc += p.reduce(WORLD, 0, &1u64, |a, b| a + b)?.unwrap_or(0);
+                        }
+                        Ok(acc)
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce_linear_x10", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), |p| {
+                        let mut acc = 0u64;
+                        for _ in 0..10 {
+                            acc += p.reduce_linear(WORLD, 0, &1u64, |a, b| a + b)?.unwrap_or(0);
+                        }
+                        Ok(acc)
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_x10", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), |p| {
+                        let mut acc = 0u64;
+                        for _ in 0..10 {
+                            acc = p.allreduce(WORLD, &(acc + 1), |a, b| a + b)?;
+                        }
+                        Ok(acc)
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

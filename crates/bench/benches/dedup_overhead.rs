@@ -1,0 +1,44 @@
+//! Experiment **F10 ablation**: cost of the duplicate-control
+//! strategies of §III-B in failure-free runs — what the iteration
+//! marker (Fig. 10) and the separate resend tag cost when nothing
+//! goes wrong.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftmpi::{run, UniverseConfig, WORLD};
+use ftring::{run_ring, DedupStrategy, RingConfig, TerminationMode};
+
+const RANKS: usize = 6;
+const LAPS: u64 = 30;
+
+fn bench_dedup_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    let variants: &[(&str, DedupStrategy)] = &[
+        ("none_fig8", DedupStrategy::None),
+        ("marker_fig10", DedupStrategy::IterationMarker),
+        ("separate_tag", DedupStrategy::SeparateTag),
+    ];
+    for (name, dedup) in variants {
+        group.bench_with_input(BenchmarkId::new(*name, RANKS), dedup, |b, &dedup| {
+            b.iter(|| {
+                let cfg = RingConfig::paper(LAPS)
+                    .dedup(dedup)
+                    .termination(TerminationMode::CountOnly);
+                let report =
+                    run(RANKS, UniverseConfig::default(), move |p| run_ring(p, WORLD, &cfg));
+                assert!(report.all_ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup_overhead);
+criterion_main!(benches);

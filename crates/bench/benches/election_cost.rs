@@ -1,0 +1,73 @@
+//! Experiment **F12**: leader-election cost (Fig. 12). The election is
+//! a local scan over `MPI_Comm_validate_rank`, so the cost grows with
+//! the number of *leading* failed ranks that must be skipped.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use faultsim::{FaultPlan, HookKind};
+use ftmpi::{run, ErrorHandler, RankState, Src, UniverseConfig, WORLD};
+
+const RANKS: usize = 32;
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election_cost");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &dead_prefix in &[0usize, 1, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("get_current_root", dead_prefix),
+            &dead_prefix,
+            |b, &dead_prefix| {
+                b.iter(|| {
+                    let mut plan = FaultPlan::none();
+                    for v in 0..dead_prefix {
+                        plan = plan.kill_at(v, HookKind::Tick, 1);
+                    }
+                    let report = run(
+                        RANKS,
+                        UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(60)),
+                        move |p| {
+                            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                            if p.world_rank() < dead_prefix {
+                                // Victims idle until the Tick kills them.
+                                let req = p.irecv(WORLD, Src::Rank(RANKS - 1), 9)?;
+                                let _ = p.wait(req)?;
+                                return Ok(0);
+                            }
+                            // Wait until the whole dead prefix is visible,
+                            // then run many elections (the measured op).
+                            for v in 0..dead_prefix {
+                                while p.comm_validate_rank(WORLD, v)?.state == RankState::Ok {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            let mut acc = 0usize;
+                            for _ in 0..200 {
+                                acc += consensus::current_root(p, WORLD)?;
+                            }
+                            Ok(acc)
+                        },
+                    );
+                    assert!(!report.hung);
+                    // Survivors agree: root is the first alive rank.
+                    for r in dead_prefix..RANKS {
+                        assert_eq!(
+                            report.outcomes[r].as_ok(),
+                            Some(&(dead_prefix * 200)),
+                            "rank {r}"
+                        );
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_election);
+criterion_main!(benches);

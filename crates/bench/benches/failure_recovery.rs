@@ -1,0 +1,58 @@
+//! Experiment **recovery**: cost of running through failures (implied
+//! by Figs. 6–10): time to complete a fixed number of laps with
+//! 0, 1, 2, or 3 injected mid-run failures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use faultsim::scenario::{combine, kill_after_recv};
+use ftmpi::{run, UniverseConfig, WORLD};
+use ftring::{run_ring, summarize, RingConfig, T_N};
+
+const RANKS: usize = 8;
+const LAPS: u64 = 20;
+
+fn plan_with_failures(f: usize) -> faultsim::FaultPlan {
+    // Victims spread around the ring, each dying while holding the
+    // token of successive laps (the Fig. 7 recovery path each time).
+    let kills = (0..f).map(|i| {
+        let victim = 2 + 2 * i; // 2, 4, 6
+        kill_after_recv(victim, victim - 1, T_N, (i + 2) as u64)
+    });
+    combine(kills)
+}
+
+fn bench_failure_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure_recovery");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &failures in &[0usize, 1, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("laps20_ranks8", failures),
+            &failures,
+            |b, &failures| {
+                b.iter(|| {
+                    let cfg = RingConfig::paper(LAPS);
+                    let plan = plan_with_failures(failures);
+                    let report = run(
+                        RANKS,
+                        UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+                        move |p| run_ring(p, WORLD, &cfg),
+                    );
+                    let s = summarize(&report);
+                    assert!(!s.hung);
+                    assert_eq!(s.completed_iterations(), LAPS as usize);
+                    assert_eq!(s.failed.len(), failures);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_recovery);
+criterion_main!(benches);

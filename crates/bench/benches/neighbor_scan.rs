@@ -1,0 +1,72 @@
+//! Experiment **F4**: fault-aware neighbour selection cost. The
+//! `to_right_of` / `to_left_of` walk is O(consecutive failures); this
+//! bench measures the scan with a block of dead ranks to skip.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use faultsim::{FaultPlan, HookKind};
+use ftmpi::{run, ErrorHandler, RankState, Src, UniverseConfig, WORLD};
+use ftring::{to_left_of, to_right_of};
+
+const RANKS: usize = 32;
+
+fn bench_neighbor_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &dead_block in &[0usize, 1, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("to_right_of_skipping", dead_block),
+            &dead_block,
+            |b, &dead_block| {
+                b.iter(|| {
+                    // Kill ranks 1..=dead_block; rank 0 scans right past
+                    // them 1000 times.
+                    let mut plan = FaultPlan::none();
+                    for v in 1..=dead_block {
+                        plan = plan.kill_at(v, HookKind::Tick, 1);
+                    }
+                    let report = run(
+                        RANKS,
+                        UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(60)),
+                        move |p| {
+                            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                            let me = p.world_rank();
+                            if (1..=dead_block).contains(&me) {
+                                let req = p.irecv(WORLD, Src::Rank(0), 9)?;
+                                let _ = p.wait(req)?;
+                                return Ok(0);
+                            }
+                            if me != 0 {
+                                return Ok(0);
+                            }
+                            for v in 1..=dead_block {
+                                while p.comm_validate_rank(WORLD, v)?.state == RankState::Ok {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            let mut acc = 0usize;
+                            for _ in 0..200 {
+                                acc += to_right_of(p, WORLD, 0)?;
+                                acc += to_left_of(p, WORLD, 0)?;
+                            }
+                            Ok(acc)
+                        },
+                    );
+                    assert!(!report.hung);
+                    let expected = (dead_block + 1 + RANKS - 1) * 200;
+                    assert_eq!(report.outcomes[0].as_ok(), Some(&expected));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor_scan);
+criterion_main!(benches);

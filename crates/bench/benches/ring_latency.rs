@@ -1,0 +1,81 @@
+//! Experiment **latency**: the ring as a latency benchmark (§III: the
+//! ring program "is also used for some latency benchmarks").
+//!
+//! Series: per-lap cost of
+//! * the Fig. 2 fault-unaware baseline,
+//! * the Fig. 3 fault-tolerant ring (detector + marker + termination),
+//!
+//! over ring sizes and token paddings, failure-free. The gap between
+//! the two series is the *fault-free overhead* of the FT machinery
+//! (one extra posted receive, the marker piggyback, and termination).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftmpi::{run, UniverseConfig, WORLD};
+use ftring::{run_baseline_ring, run_ring, RingConfig, TerminationMode};
+
+const LAPS: u64 = 40;
+
+fn bench_ring_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_latency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &ranks in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("baseline_fig2", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), move |p| {
+                        run_baseline_ring(p, WORLD, LAPS, 0)
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ft_fig3", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let cfg = RingConfig::paper(LAPS);
+                    let report =
+                        run(ranks, UniverseConfig::default(), move |p| run_ring(p, WORLD, &cfg));
+                    assert!(report.all_ok());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ft_fig3_validate_term", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let cfg = RingConfig::paper(LAPS).termination(TerminationMode::ValidateAll);
+                    let report =
+                        run(ranks, UniverseConfig::default(), move |p| run_ring(p, WORLD, &cfg));
+                    assert!(report.all_ok());
+                });
+            },
+        );
+    }
+
+    // Message-size sweep at a fixed ring size.
+    for &pad in &[0usize, 1024, 16 * 1024] {
+        group.bench_with_input(BenchmarkId::new("ft_pad_bytes", pad), &pad, |b, &pad| {
+            b.iter(|| {
+                let cfg = RingConfig::paper(LAPS).pad(pad);
+                let report = run(4, UniverseConfig::default(), move |p| run_ring(p, WORLD, &cfg));
+                assert!(report.all_ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_latency);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment **F11 vs F13**: termination-detection cost. The paper
+//! argues the root broadcast (Fig. 11) is cheap but root-fragile,
+//! while `icomm_validate_all` (Fig. 13) buys root-independence; this
+//! bench quantifies the price across ring sizes, plus the reliable
+//! broadcast the paper rejects as unscalable (§III-D).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use consensus::{rbcast, RbcastConfig};
+use ftmpi::{run, ErrorHandler, UniverseConfig, WORLD};
+use ftring::{run_ring, RingConfig, TerminationMode};
+
+const LAPS: u64 = 10;
+
+fn bench_termination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("termination");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &ranks in &[4usize, 8, 16] {
+        for (name, mode) in [
+            ("count_only", TerminationMode::CountOnly),
+            ("root_bcast_fig11", TerminationMode::RootBroadcast),
+            ("validate_all_fig13", TerminationMode::ValidateAll),
+            ("double_ibarrier_rejected", TerminationMode::DoubleBarrier),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, ranks),
+                &ranks,
+                |b, &ranks| {
+                    b.iter(|| {
+                        let cfg = RingConfig::paper(LAPS).termination(mode);
+                        let report = run(ranks, UniverseConfig::default(), move |p| {
+                            run_ring(p, WORLD, &cfg)
+                        });
+                        assert!(report.all_ok());
+                    });
+                },
+            );
+        }
+        // The §III-D alternative the paper rejects: a full reliable
+        // broadcast of the termination message (O(n^2) messages).
+        group.bench_with_input(
+            BenchmarkId::new("reliable_bcast_rejected", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), move |p| {
+                        p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                        let cfg = RbcastConfig::default();
+                        if p.world_rank() == 0 {
+                            rbcast(p, WORLD, cfg, 1, &1u8)?;
+                            Ok(())
+                        } else {
+                            let mut rx = consensus::rbcast::RbcastReceiver::new(p, WORLD, cfg)?;
+                            let _: u8 = rx.deliver(p, 1)?;
+                            rx.close(p);
+                            Ok(())
+                        }
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_termination);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Experiment **F1/F13 consensus ablation**: cost of
+//! `MPI_Comm_validate_all` versus the message-passing agreement
+//! protocols a library could use instead — the coordinator two-phase
+//! protocol (uniform) and all-to-all flooding (failure-quiescent
+//! only), both from the `consensus` crate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use consensus::{agree_on_failed_set, flooding_failed_set, AgreementConfig};
+use ftmpi::{run, ErrorHandler, UniverseConfig, WORLD};
+
+fn bench_validate_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validate_cost");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for &ranks in &[2usize, 4, 8, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("validate_all", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), |p| {
+                        p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                        p.comm_validate_all(WORLD)
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coordinator_agreement", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), |p| {
+                        p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                        agree_on_failed_set(p, WORLD, AgreementConfig::default())
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flooding_agreement", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    let report = run(ranks, UniverseConfig::default(), |p| {
+                        p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                        flooding_failed_set(p, WORLD, 0x00F7_0003)
+                    });
+                    assert!(report.all_ok());
+                });
+            },
+        );
+    }
+
+    // Repeated validations on one universe (amortized cost).
+    group.bench_function("validate_all_x10_ranks8", |b| {
+        b.iter(|| {
+            let report = run(8, UniverseConfig::default(), |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                let mut total = 0;
+                for _ in 0..10 {
+                    total += p.comm_validate_all(WORLD)?;
+                }
+                Ok(total)
+            });
+            assert!(report.all_ok());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validate_cost);
+criterion_main!(benches);

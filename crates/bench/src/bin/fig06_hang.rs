@@ -1,0 +1,35 @@
+//! Experiment **F6**: regenerate Fig. 6 — the naive receive hangs when
+//! a rank dies holding the token.
+//!
+//! ```text
+//! cargo run -p bench --bin fig06_hang
+//! ```
+
+use std::time::Duration;
+
+use bench::{ring_once, ExperimentRow};
+use faultsim::scenario::kill_after_recv;
+use ftring::{RingConfig, T_N};
+
+fn main() {
+    println!("Fig. 6: P2 dies after receiving (token lost); naive FT_Recv_left.");
+    println!("Expected: the run HANGS (watchdog converts it to an abort).\n");
+    println!("{}", ExperimentRow::table_header());
+
+    // Naive receive: watchdog is the oracle. 3 s is generous — the
+    // failure-free run takes milliseconds.
+    let plan = kill_after_recv(2, 1, T_N, 2);
+    let cfg = RingConfig::naive(6);
+    let (s, wall) = ring_once(4, &cfg, plan, Duration::from_secs(3));
+    let row = ExperimentRow::from_summary("fig6", "naive_recv", 4, 6, &s, wall);
+    println!("{}", row.to_table_line());
+
+    // Control: same config, no fault.
+    let (s2, wall2) = ring_once(4, &cfg, faultsim::FaultPlan::none(), Duration::from_secs(60));
+    let row2 = ExperimentRow::from_summary("fig6", "naive_recv_no_fault", 4, 6, &s2, wall2);
+    println!("{}", row2.to_table_line());
+
+    assert!(s.hung, "Fig. 6 must hang");
+    assert!(!s2.hung && s2.completed_iterations() == 6);
+    println!("\nReproduced: the naive receive deadlocks exactly as Fig. 6 describes.");
+}

@@ -1,0 +1,39 @@
+//! Experiment **F7/F9**: regenerate Fig. 7 — the Irecv-as-failure-
+//! detector receive (Fig. 9) resends the lost token and the ring runs
+//! through the same fault that hangs Fig. 6.
+//!
+//! ```text
+//! cargo run -p bench --bin fig07_recovery
+//! ```
+
+use std::time::Duration;
+
+use bench::{ring_once, ring_traced, ExperimentRow};
+use faultsim::scenario::kill_after_recv;
+use ftring::{render_sequence_diagram, DiagramOptions, RingConfig, T_N};
+
+fn main() {
+    println!("Fig. 7: same fault as Fig. 6, with the Fig. 9 detector receive.");
+    println!("Expected: P1 notices the failure, resends; all laps complete.\n");
+    println!("{}", ExperimentRow::table_header());
+
+    for ranks in [4usize, 6, 8] {
+        let plan = kill_after_recv(2, 1, T_N, 2);
+        let cfg = RingConfig::paper(6);
+        let (s, wall) = ring_once(ranks, &cfg, plan, Duration::from_secs(60));
+        let row = ExperimentRow::from_summary("fig7", "detector_recv", ranks, 6, &s, wall);
+        println!("{}", row.to_table_line());
+        assert!(!s.hung);
+        assert_eq!(s.completed_iterations(), 6);
+        assert!(s.total_resends >= 1, "the lost token must be resent");
+    }
+    // Render the actual message diagram of the 4-rank run, the shape
+    // of the paper's Fig. 7.
+    let plan = kill_after_recv(2, 1, T_N, 2);
+    let cfg = RingConfig::paper(3);
+    let (s, _, trace) = ring_traced(4, &cfg, plan, Duration::from_secs(60));
+    assert!(!s.hung);
+    println!("\nrecorded message diagram (cf. paper Fig. 7):\n");
+    println!("{}", render_sequence_diagram(&trace, 4, &DiagramOptions::default()));
+    println!("Reproduced: recovery via detector + resend, at every ring size.");
+}

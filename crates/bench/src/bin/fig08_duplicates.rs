@@ -1,0 +1,39 @@
+//! Experiment **F8**: regenerate Fig. 8 — without duplicate control,
+//! the resend after a post-forward failure makes the same iteration
+//! complete twice.
+//!
+//! ```text
+//! cargo run -p bench --bin fig08_duplicates
+//! ```
+
+use std::time::Duration;
+
+use bench::{ring_once, ring_traced, ExperimentRow};
+use faultsim::scenario::kill_behind_token;
+use ftring::{render_sequence_diagram, DiagramOptions, RingConfig, T_N};
+
+fn main() {
+    println!("Fig. 8: P2 dies after forwarding; NO duplicate control.");
+    println!("Expected: the resent token is processed again — an iteration completes twice.\n");
+    println!("{}", ExperimentRow::table_header());
+
+    let plan = kill_behind_token(2, 0, T_N, 2);
+    let cfg = RingConfig::no_dedup(6);
+    let (s, wall) = ring_once(4, &cfg, plan, Duration::from_secs(60));
+    let row = ExperimentRow::from_summary("fig8", "no_dedup", 4, 6, &s, wall);
+    println!("{}", row.to_table_line());
+    println!("\nclosures observed at the root (marker, value):");
+    for (m, v) in &s.closures {
+        println!("  lap {m}: value {v}");
+    }
+    assert!(s.has_double_completion(), "a lap must close twice");
+    let plan = kill_behind_token(2, 0, T_N, 2);
+    let (s2, _, trace) = ring_traced(4, &RingConfig::no_dedup(4), plan, Duration::from_secs(60));
+    assert!(!s2.hung);
+    println!("\nrecorded message diagram (cf. paper Fig. 8):\n");
+    println!("{}", render_sequence_diagram(&trace, 4, &DiagramOptions::default()));
+    println!(
+        "\nReproduced: a lap marker appears twice in the closure list — the\n\
+         Fig. 8 double completion (and one originated lap never closed)."
+    );
+}

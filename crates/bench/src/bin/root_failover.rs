@@ -1,0 +1,44 @@
+//! Experiment **§III-D**: regenerate the root-failure discussion —
+//! the Fig. 11 design wedges on a mid-ring root death; §III-D's
+//! election + validate-all termination runs through it.
+//!
+//! ```text
+//! cargo run -p bench --bin root_failover
+//! ```
+
+use std::time::Duration;
+
+use bench::{ring_once, ExperimentRow};
+use faultsim::scenario::kill_after_recv;
+use ftring::{RingConfig, T_N};
+
+fn main() {
+    println!("§III-D: the ROOT dies after closing lap 2 (mid-ring).\n");
+    println!("{}", ExperimentRow::table_header());
+
+    // Design A — Fig. 11 (root broadcast, no failover): hang expected.
+    let plan = kill_after_recv(0, 4, T_N, 3);
+    let cfg = RingConfig::paper(6);
+    let (s, wall) = ring_once(5, &cfg, plan, Duration::from_secs(3));
+    let row = ExperimentRow::from_summary("s3d", "fig11_no_failover", 5, 6, &s, wall);
+    println!("{}", row.to_table_line());
+    assert!(s.hung, "without failover the mid-ring root death wedges the ring");
+
+    // Design B — §III-D failover: rank 1 takes over.
+    let plan = kill_after_recv(0, 4, T_N, 3);
+    let cfg = RingConfig::with_root_failover(6);
+    let (s2, wall2) = ring_once(5, &cfg, plan, Duration::from_secs(60));
+    let row2 = ExperimentRow::from_summary("s3d", "failover_fig12_fig13", 5, 6, &s2, wall2);
+    println!("{}", row2.to_table_line());
+    assert!(!s2.hung);
+    assert_eq!(
+        *s2.closures.iter().map(|(m, _)| m).max().unwrap(),
+        5,
+        "the final lap must close at the new root"
+    );
+
+    println!(
+        "\nReproduced: Fig. 11's design cannot survive a root death; the §III-D\n\
+         failover (Fig. 12 election + Fig. 13 termination) completes every lap."
+    );
+}

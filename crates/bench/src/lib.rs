@@ -1,0 +1,6 @@
+//! Shared helpers for the criterion benches and the experiment
+//! binaries that regenerate the paper's figures.
+
+pub mod harness;
+
+pub use harness::{ring_once, ring_report, ring_traced, ExperimentRow};

@@ -1,0 +1,330 @@
+//! Flooding reliable broadcast.
+//!
+//! The paper's §III-D notes that replacing the root's plain termination
+//! broadcast with a *reliable* broadcast "is delicate to implement,
+//! especially when attempting to improve the scalability of the
+//! algorithm" — and then side-steps it with `MPI_Icomm_validate_all`.
+//! This module implements the unscalable-but-correct baseline the
+//! paper alludes to, so the benchmarks can quantify that trade-off.
+//!
+//! Protocol (classic eager reliable broadcast under fail-stop):
+//!
+//! * The origin sends `(id, payload)` to every alive rank.
+//! * Every process, on *first* receipt of an `id`, first forwards the
+//!   message to every alive rank (except itself), then delivers.
+//!
+//! Because forwarding precedes delivery and sends are reliable to
+//! alive targets, if any process that delivers stays alive, every
+//! alive process eventually receives the message — the origin dying
+//! mid-send is healed by the survivors' forwards. Cost: O(n²)
+//! messages, which is the paper's scalability complaint.
+
+use std::collections::HashSet;
+
+use ftmpi::{Comm, Datatype, Error, Process, Request, Result, Src, Tag};
+
+/// Configuration for a reliable-broadcast domain.
+#[derive(Debug, Clone, Copy)]
+pub struct RbcastConfig {
+    /// User tag carrying rbcast traffic. Must not be reused by the
+    /// application on the same communicator.
+    pub tag: Tag,
+}
+
+impl Default for RbcastConfig {
+    fn default() -> Self {
+        RbcastConfig { tag: 0x00F7_0001 }
+    }
+}
+
+fn alive_targets(p: &Process, comm: Comm) -> Result<Vec<usize>> {
+    let me = p.comm_rank(comm)?;
+    Ok(p.alive_ranks(comm)?.into_iter().filter(|&r| r != me).collect())
+}
+
+/// Originate a reliable broadcast of `(id, payload)`.
+///
+/// The `id` must be unique per broadcast within the tag's lifetime
+/// (e.g. a round counter). Send failures to already-dead ranks are
+/// skipped; the flood heals the rest.
+pub fn rbcast<T: Datatype>(
+    p: &mut Process,
+    comm: Comm,
+    cfg: RbcastConfig,
+    id: u64,
+    payload: &T,
+) -> Result<()> {
+    let msg = (id, T::from_bytes(&payload.to_bytes())?);
+    for dst in alive_targets(p, comm)? {
+        match p.send(comm, dst, cfg.tag, &msg) {
+            Ok(()) => {}
+            Err(e) if e.is_terminal() => return Err(e),
+            Err(_) => {} // dst died: survivors' forwards cover it
+        }
+    }
+    Ok(())
+}
+
+/// Receiving endpoint of a reliable-broadcast domain.
+///
+/// Keeps one receive posted per alive peer for the lifetime of the
+/// protocol, so no forwarded copy is ever dropped between deliveries.
+///
+/// Deliberately avoids `MPI_ANY_SOURCE`: an any-source receive errors
+/// whenever *any* unrecognized failure exists (§II of the paper), which
+/// would force recognition decisions on the application; a dead peer
+/// here simply retires its slot.
+pub struct RbcastReceiver {
+    comm: Comm,
+    cfg: RbcastConfig,
+    /// (peer comm rank, posted request); `None` once the peer is dead.
+    slots: Vec<(usize, Option<Request>)>,
+    /// Delivered (or forwarded) broadcast ids.
+    seen: HashSet<u64>,
+    /// Messages received but not yet asked for: (id, raw payload).
+    stash: Vec<(u64, bytes::Bytes)>,
+}
+
+impl RbcastReceiver {
+    /// Create the receiver and post one receive per peer. Receives
+    /// posted to already-dead peers still match anything the peer
+    /// delivered before dying (a receive against a failed rank first
+    /// consumes queued messages, then completes in error), which the
+    /// event loop turns into a drain-and-retire.
+    pub fn new(p: &mut Process, comm: Comm, cfg: RbcastConfig) -> Result<Self> {
+        let me = p.comm_rank(comm)?;
+        let size = p.comm_size(comm)?;
+        let mut slots = Vec::with_capacity(size.saturating_sub(1));
+        for peer in (0..size).filter(|&r| r != me) {
+            let req = p.irecv(comm, Src::Rank(peer), cfg.tag)?;
+            slots.push((peer, Some(req)));
+        }
+        Ok(RbcastReceiver { comm, cfg, slots, seen: HashSet::new(), stash: Vec::new() })
+    }
+
+    /// Process one raw message: dedup, forward, then stash or signal
+    /// delivery of `expect_id`.
+    fn process(
+        &mut self,
+        p: &mut Process,
+        raw: bytes::Bytes,
+        expect_id: u64,
+    ) -> Result<Option<bytes::Bytes>> {
+        let (id, _) = u64::decode(&raw)?;
+        if !self.seen.insert(id) {
+            return Ok(None); // duplicate from a forwarder
+        }
+        // Forward the raw message before delivering.
+        for dst in alive_targets(p, self.comm)? {
+            match p.send_bytes(self.comm, dst, self.cfg.tag, raw.clone()) {
+                Ok(()) => {}
+                Err(e) if e.is_terminal() => return Err(e),
+                Err(_) => {}
+            }
+        }
+        let payload = raw.slice(8..);
+        if id == expect_id {
+            return Ok(Some(payload));
+        }
+        self.stash.push((id, payload));
+        Ok(None)
+    }
+
+    /// Absorb messages a now-dead peer delivered before dying, then
+    /// retire its slot. Returns a delivery if one of them was the
+    /// awaited broadcast.
+    fn drain_dead(
+        &mut self,
+        p: &mut Process,
+        slot_idx: usize,
+        expect_id: u64,
+    ) -> Result<Option<bytes::Bytes>> {
+        self.slots[slot_idx].1 = None;
+        let peer = self.slots[slot_idx].0;
+        let mut delivered = None;
+        loop {
+            let req = p.irecv(self.comm, Src::Rank(peer), self.cfg.tag)?;
+            match p.test(req) {
+                Ok(Some(c)) if !c.status.is_proc_null() && !c.data.is_empty() => {
+                    if let Some(v) = self.process(p, c.data, expect_id)? {
+                        delivered.get_or_insert(v);
+                    }
+                }
+                Ok(Some(_)) => return Ok(delivered),
+                Ok(None) => {
+                    p.cancel(req)?;
+                    return Ok(delivered);
+                }
+                Err(e) if e.is_terminal() => return Err(e),
+                Err(_) => return Ok(delivered),
+            }
+        }
+    }
+
+    /// Block until the broadcast with `expect_id` is delivered.
+    /// Forwards every first-seen message before delivering it.
+    pub fn deliver<T: Datatype>(&mut self, p: &mut Process, expect_id: u64) -> Result<T> {
+        // Already stashed from an earlier wait?
+        if let Some(pos) = self.stash.iter().position(|(id, _)| *id == expect_id) {
+            let (_, data) = self.stash.swap_remove(pos);
+            return T::from_bytes(&data);
+        }
+        loop {
+            let live: Vec<Request> = self.slots.iter().filter_map(|&(_, r)| r).collect();
+            if live.is_empty() {
+                // Every peer failed before the broadcast reached us.
+                return Err(Error::RankFailStop { rank: 0 });
+            }
+            let out = p.waitany(&live)?;
+            let completed = live[out.index];
+            let slot_idx = self
+                .slots
+                .iter()
+                .position(|&(_, r)| r == Some(completed))
+                .expect("completed request belongs to a slot");
+            match out.result {
+                Err(e) if e.is_terminal() => return Err(e),
+                Err(_) => {
+                    // Peer died: absorb anything it delivered first.
+                    if let Some(data) = self.drain_dead(p, slot_idx, expect_id)? {
+                        return T::from_bytes(&data);
+                    }
+                }
+                Ok(c) if c.status.is_proc_null() => {
+                    if let Some(data) = self.drain_dead(p, slot_idx, expect_id)? {
+                        return T::from_bytes(&data);
+                    }
+                }
+                Ok(c) => {
+                    let peer = self.slots[slot_idx].0;
+                    self.slots[slot_idx].1 =
+                        Some(p.irecv(self.comm, Src::Rank(peer), self.cfg.tag)?);
+                    if let Some(data) = self.process(p, c.data, expect_id)? {
+                        return T::from_bytes(&data);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tear down, cancelling the posted receives. Any in-flight copies
+    /// after this point land in the unexpected queue and are dropped
+    /// when the process ends (the protocol is over).
+    pub fn close(mut self, p: &mut Process) {
+        for (_, r) in self.slots.iter_mut() {
+            if let Some(req) = r.take() {
+                let _ = p.cancel(req);
+            }
+        }
+    }
+}
+
+/// How many point-to-point messages one rbcast costs in an
+/// `n`-survivor communicator (origin + every deliverer forwards).
+pub fn rbcast_message_cost(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        // Origin sends n-1; each of the n-1 deliverers forwards to n-1
+        // targets (everyone but itself).
+        (n - 1) * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::{FaultRule, HookKind, Trigger};
+    use ftmpi::{run, run_default, ErrorHandler, UniverseConfig, WORLD};
+    use std::time::Duration;
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let report = run_default(5, |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            let cfg = RbcastConfig::default();
+            if p.world_rank() == 0 {
+                rbcast(p, WORLD, cfg, 1, &777i64)?;
+                Ok(777)
+            } else {
+                let mut rx = RbcastReceiver::new(p, WORLD, cfg)?;
+                let v = rx.deliver::<i64>(p, 1)?;
+                rx.close(p);
+                Ok(v)
+            }
+        });
+        assert!(report.all_ok());
+        for o in &report.outcomes {
+            assert_eq!(o.as_ok(), Some(&777));
+        }
+    }
+
+    #[test]
+    fn delivery_survives_origin_death_mid_broadcast() {
+        // Kill the origin after its FIRST send: only rank 1 has the
+        // message; the flood must still deliver to ranks 2..4.
+        let plan = faultsim::FaultPlan::none().with(FaultRule::kill(
+            0,
+            Trigger::on(HookKind::AfterSend).nth(1),
+        ));
+        let report = run(
+            5,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(30)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                let cfg = RbcastConfig::default();
+                if p.world_rank() == 0 {
+                    rbcast(p, WORLD, cfg, 9, &42u32)?;
+                    Ok(42)
+                } else {
+                    let mut rx = RbcastReceiver::new(p, WORLD, cfg)?;
+                    let v = rx.deliver::<u32>(p, 9)?;
+                    rx.close(p);
+                    Ok(v)
+                }
+            },
+        );
+        assert!(!report.hung);
+        assert!(report.outcomes[0].is_failed());
+        for r in 1..5 {
+            assert_eq!(report.outcomes[r].as_ok(), Some(&42), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn sequential_broadcasts_deliver_in_id_order_without_loss() {
+        let report = run_default(4, |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            let cfg = RbcastConfig::default();
+            if p.world_rank() == 0 {
+                for id in 1..=3u64 {
+                    rbcast(p, WORLD, cfg, id, &(id as i64 * 11))?;
+                }
+                Ok(66)
+            } else {
+                let mut rx = RbcastReceiver::new(p, WORLD, cfg)?;
+                // Ask out of order: 2 then 1 then 3 — the stash holds
+                // early arrivals.
+                let b = rx.deliver::<i64>(p, 2)?;
+                let a = rx.deliver::<i64>(p, 1)?;
+                let c = rx.deliver::<i64>(p, 3)?;
+                rx.close(p);
+                assert_eq!((a, b, c), (11, 22, 33));
+                Ok(a + b + c)
+            }
+        });
+        assert!(report.all_ok());
+        for o in &report.outcomes {
+            assert_eq!(o.as_ok(), Some(&66));
+        }
+    }
+
+    #[test]
+    fn message_cost_is_quadratic() {
+        assert_eq!(rbcast_message_cost(1), 0);
+        assert_eq!(rbcast_message_cost(2), 2);
+        assert_eq!(rbcast_message_cost(4), 12);
+        // The quadratic growth is the paper's scalability complaint.
+        assert!(rbcast_message_cost(64) > 64 * 32);
+    }
+}

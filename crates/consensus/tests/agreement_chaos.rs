@@ -1,0 +1,102 @@
+//! Chaos property for the coordinator agreement protocol: **uniform
+//! agreement** under randomized kill schedules, including coordinator
+//! chains dying mid-protocol.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use consensus::{agree_on_failed_set, AgreementConfig};
+use faultsim::{FaultPlan, FaultRule, HookKind, Trigger};
+use ftmpi::{run, ErrorHandler, UniverseConfig, WORLD};
+
+#[derive(Debug, Clone, Copy)]
+struct Kill {
+    victim: usize,
+    kind: u8,
+    occurrence: u64,
+}
+
+fn kill_strategy() -> impl Strategy<Value = Kill> {
+    (0usize..7, 0u8..4, 1u64..8).prop_map(|(victim, kind, occurrence)| Kill {
+        victim,
+        kind,
+        occurrence,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 20,
+        max_shrink_iters: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn agreement_is_uniform_under_chaos(
+        world in 3usize..8,
+        kills in prop::collection::vec(kill_strategy(), 0..3),
+    ) {
+        let kills: Vec<Kill> = kills.into_iter().filter(|k| k.victim < world).collect();
+        let victims: std::collections::HashSet<usize> =
+            kills.iter().map(|k| k.victim).collect();
+        prop_assume!(victims.len() < world);
+
+        let mut plan = FaultPlan::none();
+        let mut seen = std::collections::HashSet::new();
+        for k in &kills {
+            if !seen.insert(k.victim) {
+                continue;
+            }
+            let kind = match k.kind {
+                0 => HookKind::AfterRecvComplete,
+                1 => HookKind::AfterSend,
+                2 => HookKind::BeforeSend,
+                _ => HookKind::Tick,
+            };
+            plan = plan.with(FaultRule::kill(k.victim, Trigger::on(kind).nth(k.occurrence)));
+        }
+
+        let report = run(
+            world,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                agree_on_failed_set(p, WORLD, AgreementConfig::default())
+            },
+        );
+        prop_assert!(!report.hung, "agreement hung with kills {kills:?}");
+
+        // UNIFORMITY: every survivor decided the same set.
+        let decided: Vec<&Vec<usize>> = report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.as_ok())
+            .collect();
+        prop_assert!(!decided.is_empty(), "at least one survivor decides");
+        for d in &decided {
+            prop_assert_eq!(
+                *d, decided[0],
+                "uniform agreement violated (kills {:?}): {:?}",
+                kills, decided
+            );
+        }
+        // VALIDITY: the agreed set contains only genuinely failed
+        // ranks (strong accuracy of the detector).
+        let actually_failed: std::collections::HashSet<usize> = report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_failed())
+            .map(|(r, _)| r)
+            .collect();
+        for &r in decided[0] {
+            prop_assert!(
+                actually_failed.contains(&r),
+                "agreed on a rank that did not fail: {} (kills {:?})",
+                r,
+                kills
+            );
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! 1-D heat diffusion with fault-tolerant neighbour exchange.
+//!
+//! The paper motivates ABFT with domains like heat-transfer codes
+//! (§IV, citing Ltaief et al.). This application exercises the same
+//! neighbour-based communication pattern as the ring, on a physical
+//! workload: a 1-D rod split across ranks, Jacobi iterations with halo
+//! exchange, and *natural fault tolerance* semantics on failure — the
+//! dead rank's sub-domain is abandoned and the surviving ranks re-knit
+//! the rod around it (an approximate answer instead of a lost job,
+//! §IV's "natural fault tolerance").
+
+use ftmpi::{Comm, Error, Process, RankState, Result, Src, Tag};
+
+use crate::neighbors::{to_left_of, to_right_of};
+
+const HEAT_TAG: Tag = 11;
+
+/// Configuration of a heat-diffusion run.
+#[derive(Debug, Clone)]
+pub struct HeatConfig {
+    /// Cells per rank.
+    pub cells_per_rank: usize,
+    /// Jacobi steps.
+    pub steps: u64,
+    /// Diffusion coefficient (`alpha * dt / dx^2`), stable for < 0.5.
+    pub nu: f64,
+    /// Fixed temperatures at the rod's ends.
+    pub boundary: (f64, f64),
+}
+
+impl Default for HeatConfig {
+    fn default() -> Self {
+        HeatConfig { cells_per_rank: 32, steps: 100, nu: 0.25, boundary: (1.0, 0.0) }
+    }
+}
+
+/// Per-rank result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatResult {
+    /// Final temperatures of this rank's cells.
+    pub cells: Vec<f64>,
+    /// Steps actually computed.
+    pub steps: u64,
+    /// Halo exchanges that fell back to an insulated boundary because
+    /// the neighbour had failed.
+    pub halo_fallbacks: u64,
+    /// Neighbour re-selections performed.
+    pub neighbor_switches: u64,
+}
+
+fn am_leftmost(p: &Process, comm: Comm, me: usize) -> Result<bool> {
+    for r in 0..me {
+        if p.comm_validate_rank(comm, r)?.state == RankState::Ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn am_rightmost(p: &Process, comm: Comm, me: usize) -> Result<bool> {
+    let size = p.comm_size(comm)?;
+    for r in me + 1..size {
+        if p.comm_validate_rank(comm, r)?.state == RankState::Ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Sentinel step marking "this partner finished its run".
+const STEP_DONE: u64 = u64::MAX;
+
+/// Outcome of one halo receive.
+enum Halo {
+    /// A halo value from the current partner. After a heal the step
+    /// labels of the two sides can be offset by a step or two; each
+    /// side consumes exactly one message per step, so the pairing
+    /// stays live and the transient value skew is part of the
+    /// documented approximate-answer semantics.
+    Value(f64),
+    /// The partner failed (or we are alone): boundary this step; the
+    /// neighbour pointer may have been re-knit for the next step.
+    Fallback,
+    /// The partner completed all of its steps: this side is a boundary
+    /// for the rest of the run.
+    PartnerDone,
+}
+
+/// Exchange one halo value with a neighbour side, tolerating failures.
+fn halo_recv(
+    p: &mut Process,
+    comm: Comm,
+    neighbor: &mut usize,
+    switches: &mut u64,
+    me: usize,
+    leftward: bool,
+) -> Result<Halo> {
+    match p.recv::<(u64, f64)>(comm, Src::Rank(*neighbor), HEAT_TAG) {
+        Ok(((STEP_DONE, _), _)) => Ok(Halo::PartnerDone),
+        Ok(((_, v), _)) => Ok(Halo::Value(v)),
+        Err(e) if e.is_terminal() => Err(e),
+        Err(Error::RankFailStop { .. }) | Err(Error::TypeMismatch) => {
+            // Neighbour failed (or a PROC_NULL blank decoded): re-knit
+            // around it. The new neighbour did not send to us this
+            // step (it was paired with the dead rank), so this step
+            // degrades to an insulated boundary.
+            let next = if leftward {
+                to_left_of(p, comm, *neighbor)
+            } else {
+                to_right_of(p, comm, *neighbor)
+            };
+            match next {
+                Ok(n) if n != me => {
+                    *neighbor = n;
+                    *switches += 1;
+                    Ok(Halo::Fallback)
+                }
+                _ => Ok(Halo::Fallback), // alone on this side
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Run the diffusion on this rank.
+pub fn run_heat(p: &mut Process, comm: Comm, cfg: &HeatConfig) -> Result<HeatResult> {
+    p.set_errhandler(comm, ftmpi::ErrorHandler::ErrorsReturn)?;
+    let me = p.comm_rank(comm)?;
+    let size = p.comm_size(comm)?;
+    let n = cfg.cells_per_rank;
+    assert!(n >= 2, "need at least two cells per rank");
+
+    // Initial condition: linear ramp across the global rod.
+    let global = (size * n) as f64;
+    let mut cells: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = (me * n + i) as f64 / (global - 1.0);
+            cfg.boundary.0 + (cfg.boundary.1 - cfg.boundary.0) * x
+        })
+        .collect();
+
+    let mut left = if me == 0 { None } else { Some(me - 1) };
+    let mut right = if me + 1 == size { None } else { Some(me + 1) };
+    let mut fallbacks = 0u64;
+    let mut switches = 0u64;
+
+    for step in 0..cfg.steps {
+        // Send halos to both sides, healing the pairing on the send
+        // path: if a neighbour died, walk to the next alive rank and
+        // send to it instead — otherwise the new partner would block
+        // waiting for a halo that went to the dead rank.
+        while let Some(l) = left {
+            match p.send(comm, l, HEAT_TAG, &(step, cells[0])) {
+                Ok(()) => break,
+                Err(e) if e.is_terminal() => return Err(e),
+                Err(Error::RankFailStop { .. }) => match to_left_of(p, comm, l) {
+                    Ok(nl) if nl != me => {
+                        left = Some(nl);
+                        switches += 1;
+                    }
+                    _ => left = None,
+                },
+                Err(e) => return Err(e),
+            }
+        }
+        while let Some(r) = right {
+            match p.send(comm, r, HEAT_TAG, &(step, cells[n - 1])) {
+                Ok(()) => break,
+                Err(e) if e.is_terminal() => return Err(e),
+                Err(Error::RankFailStop { .. }) => match to_right_of(p, comm, r) {
+                    Ok(nr) if nr != me => {
+                        right = Some(nr);
+                        switches += 1;
+                    }
+                    _ => right = None,
+                },
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Receive halos, degrading to boundary conditions on failure
+        // or when the partner has completed its run.
+        let _ = step;
+        let left_halo = match left {
+            Some(ref mut l) => {
+                if am_leftmost(p, comm, me)? {
+                    left = None;
+                    None
+                } else {
+                    match halo_recv(p, comm, l, &mut switches, me, true)? {
+                        Halo::Value(v) => Some(v),
+                        Halo::Fallback => {
+                            fallbacks += 1;
+                            None
+                        }
+                        Halo::PartnerDone => {
+                            left = None;
+                            fallbacks += 1;
+                            None
+                        }
+                    }
+                }
+            }
+            None => None,
+        };
+        let right_halo = match right {
+            Some(ref mut r) => {
+                if am_rightmost(p, comm, me)? {
+                    right = None;
+                    None
+                } else {
+                    match halo_recv(p, comm, r, &mut switches, me, false)? {
+                        Halo::Value(v) => Some(v),
+                        Halo::Fallback => {
+                            fallbacks += 1;
+                            None
+                        }
+                        Halo::PartnerDone => {
+                            right = None;
+                            fallbacks += 1;
+                            None
+                        }
+                    }
+                }
+            }
+            None => None,
+        };
+
+        // Jacobi update. Missing halos become fixed boundaries (global
+        // ends) — or reflective walls where a neighbour died.
+        let lh = left_halo.unwrap_or(if me == 0 { cfg.boundary.0 } else { cells[0] });
+        let rh =
+            right_halo.unwrap_or(if me + 1 == size { cfg.boundary.1 } else { cells[n - 1] });
+        let mut next = cells.clone();
+        for i in 0..n {
+            let l = if i == 0 { lh } else { cells[i - 1] };
+            let r = if i == n - 1 { rh } else { cells[i + 1] };
+            next[i] = cells[i] + cfg.nu * (l - 2.0 * cells[i] + r);
+        }
+        cells = next;
+    }
+
+    // Tell the current partners we are done, so a partner that healed
+    // late (and would otherwise wait for halos we will never send)
+    // degrades its side to a boundary instead of hanging.
+    for partner in [left, right].into_iter().flatten() {
+        match p.send(comm, partner, HEAT_TAG, &(STEP_DONE, 0.0f64)) {
+            Ok(()) | Err(Error::RankFailStop { .. }) => {}
+            Err(e) if e.is_terminal() => return Err(e),
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(HeatResult { cells, steps: cfg.steps, halo_fallbacks: fallbacks, neighbor_switches: switches })
+}
+
+/// Serial reference for the failure-free case: the same scheme on one
+/// array.
+pub fn serial_reference(ranks: usize, cfg: &HeatConfig) -> Vec<f64> {
+    let n = ranks * cfg.cells_per_rank;
+    let mut cells: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = i as f64 / (n as f64 - 1.0);
+            cfg.boundary.0 + (cfg.boundary.1 - cfg.boundary.0) * x
+        })
+        .collect();
+    for _ in 0..cfg.steps {
+        let mut next = cells.clone();
+        for i in 0..n {
+            let l = if i == 0 { cfg.boundary.0 } else { cells[i - 1] };
+            let r = if i == n - 1 { cfg.boundary.1 } else { cells[i + 1] };
+            next[i] = cells[i] + cfg.nu * (l - 2.0 * cells[i] + r);
+        }
+        cells = next;
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftmpi::{run, run_default, UniverseConfig, WORLD};
+    use std::time::Duration;
+
+    #[test]
+    fn failure_free_matches_serial_reference() {
+        let cfg = HeatConfig { cells_per_rank: 8, steps: 50, ..Default::default() };
+        let ranks = 4;
+        let cfg2 = cfg.clone();
+        let report = run_default(ranks, move |p| run_heat(p, WORLD, &cfg2));
+        assert!(report.all_ok());
+        let reference = serial_reference(ranks, &cfg);
+        for (rank, o) in report.outcomes.iter().enumerate() {
+            let r = o.as_ok().unwrap();
+            for (i, &v) in r.cells.iter().enumerate() {
+                let expected = reference[rank * cfg.cells_per_rank + i];
+                assert!(
+                    (v - expected).abs() < 1e-9,
+                    "rank {rank} cell {i}: {v} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survivors_run_through_a_mid_run_failure() {
+        let cfg = HeatConfig { cells_per_rank: 8, steps: 60, ..Default::default() };
+        // Rank 1 dies after its 10th halo receive.
+        let plan = faultsim::FaultPlan::none().kill_at(
+            1,
+            faultsim::HookKind::AfterRecvComplete,
+            10,
+        );
+        let report = run(
+            4,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(60)),
+            move |p| run_heat(p, WORLD, &cfg),
+        );
+        assert!(!report.hung, "heat exchange must run through the failure");
+        assert!(report.outcomes[1].is_failed());
+        for r in [0usize, 2, 3] {
+            let res = report.outcomes[r].as_ok().unwrap_or_else(|| {
+                panic!("rank {r} did not survive: {:?}", report.outcomes[r])
+            });
+            assert_eq!(res.steps, 60);
+            assert!(res.cells.iter().all(|v| v.is_finite()));
+        }
+        // Someone adjacent to rank 1 must have re-knit the rod.
+        let switches: u64 = [0usize, 2, 3]
+            .iter()
+            .filter_map(|&r| report.outcomes[r].as_ok())
+            .map(|res| res.neighbor_switches)
+            .sum();
+        assert!(switches >= 1, "no survivor re-knit around the failure");
+    }
+
+    #[test]
+    fn single_rank_runs_standalone() {
+        let cfg = HeatConfig { cells_per_rank: 16, steps: 20, ..Default::default() };
+        let report = run_default(1, move |p| run_heat(p, WORLD, &cfg));
+        assert!(report.all_ok());
+    }
+}

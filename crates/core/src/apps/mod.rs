@@ -1,0 +1,17 @@
+//! Domain applications built on the fault-tolerant substrate.
+//!
+//! The paper motivates ABFT with real workloads; these two exercise
+//! the same neighbour-communication pattern as the ring on physical
+//! problems: a 1-D heat-diffusion solver with run-through halo
+//! exchange, and a pipelined ring reduction wrapped in validate-all
+//! recovery blocks.
+
+pub mod diskless;
+pub mod heat;
+pub mod manager_worker;
+pub mod pipeline;
+
+pub use diskless::{reference_block, run_diskless, DisklessConfig, DisklessResult};
+pub use heat::{run_heat, serial_reference, HeatConfig, HeatResult};
+pub use manager_worker::{expected_results, run_farm, FarmOutcome, FarmResult, WorkerResult};
+pub use pipeline::{run_pipeline, PipelineResult};

@@ -1,0 +1,223 @@
+//! ASCII message-sequence diagrams from protocol traces.
+//!
+//! The paper's Figs. 6, 7, 8 and 10 are message-sequence charts. This
+//! module renders the *actual* recorded trace of a run in the same
+//! shape, so the experiment binaries can print, next to each figure's
+//! statistics, the diagram the run really produced.
+//!
+//! ```text
+//! P0          P1          P2          P3
+//! |--- T_N -->|           |           |
+//! |           |--- T_N -->|           |
+//! |           |           X           |        (P2 killed)
+//! |           |--- T_N ------------->>|        (resend)
+//! ```
+
+use ftmpi::{Event, TimedEvent};
+
+use crate::msg::{T_D, T_N, T_R};
+
+/// Options for rendering.
+#[derive(Debug, Clone)]
+pub struct DiagramOptions {
+    /// Column width per rank lane.
+    pub lane_width: usize,
+    /// Render only events whose tag passes this filter (`None` keeps
+    /// everything, including system traffic).
+    pub user_tags_only: bool,
+    /// Cap on rendered rows (long runs are elided in the middle).
+    pub max_rows: usize,
+}
+
+impl Default for DiagramOptions {
+    fn default() -> Self {
+        DiagramOptions { lane_width: 12, user_tags_only: true, max_rows: 60 }
+    }
+}
+
+fn tag_label(tag: i32) -> String {
+    match tag {
+        T_N => "T_N".to_string(),
+        T_D => "T_D".to_string(),
+        T_R => "T_R".to_string(),
+        t if t < 0 => "sys".to_string(),
+        t => format!("t{t}"),
+    }
+}
+
+/// One renderable row of the chart.
+enum Row {
+    /// Message from `src` to `dst` with a label.
+    Arrow { src: usize, dst: usize, label: String },
+    /// Rank died.
+    Death { rank: usize },
+    /// Annotation spanning the chart.
+    Note(String),
+}
+
+/// Render the trace for `ranks` lanes.
+pub fn render_sequence_diagram(
+    trace: &[TimedEvent],
+    ranks: usize,
+    opts: &DiagramOptions,
+) -> String {
+    let mut rows: Vec<Row> = Vec::new();
+    for te in trace {
+        match &te.event {
+            Event::Send { src, dst, tag, .. } => {
+                if opts.user_tags_only && *tag < 0 {
+                    continue;
+                }
+                rows.push(Row::Arrow { src: *src, dst: *dst, label: tag_label(*tag) });
+            }
+            Event::Killed { rank } => rows.push(Row::Death { rank: *rank }),
+            Event::Aborted { code } => rows.push(Row::Note(format!("JOB ABORTED (code {code})"))),
+            Event::ValidateDecided { failed, .. } => {
+                rows.push(Row::Note(format!("validate_all decided: {failed} failed")))
+            }
+            _ => {}
+        }
+    }
+
+    let w = opts.lane_width;
+    let line_len = ranks * w;
+    let mut out = String::new();
+
+    // Header lane labels.
+    for r in 0..ranks {
+        let label = format!("P{r}");
+        out.push_str(&format!("{label:<width$}", width = w));
+    }
+    out.push('\n');
+
+    let render_row = |row: &Row| -> String {
+        let mut line: Vec<char> = Vec::with_capacity(line_len);
+        for _ in 0..ranks {
+            let mut lane: Vec<char> = vec![' '; w];
+            lane[0] = '|';
+            line.extend(lane);
+        }
+        match row {
+            Row::Death { rank } => {
+                line[rank * w] = 'X';
+                let mut s: String = line.into_iter().collect();
+                s.push_str(&format!("   (P{rank} killed)"));
+                s
+            }
+            Row::Note(n) => format!("{:-^width$}  {n}", "", width = line_len),
+            Row::Arrow { src, dst, label } => {
+                let (a, b) = (src.min(dst) * w, src.max(dst) * w);
+                // Fill the span with dashes, leaving the endpoints.
+                for cell in line.iter_mut().take(b).skip(a + 1) {
+                    *cell = '-';
+                }
+                // Direction arrow head.
+                if dst > src {
+                    line[b - 1] = '>';
+                } else {
+                    line[a + 1] = '<';
+                }
+                // Label in the middle of the span.
+                let mid = (a + b) / 2;
+                let chars: Vec<char> = label.chars().collect();
+                let start = mid.saturating_sub(chars.len() / 2).max(a + 2);
+                for (i, c) in chars.iter().enumerate() {
+                    let pos = start + i;
+                    if pos < b.saturating_sub(1) {
+                        line[pos] = *c;
+                    }
+                }
+                line.into_iter().collect()
+            }
+        }
+    };
+
+    if rows.len() > opts.max_rows {
+        let head = opts.max_rows / 2;
+        let tail = opts.max_rows - head;
+        for row in &rows[..head] {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:^width$}\n",
+            format!("... {} rows elided ...", rows.len() - opts.max_rows),
+            width = line_len
+        ));
+        for row in &rows[rows.len() - tail..] {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+    } else {
+        for row in &rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::scenario::kill_after_recv;
+    use ftmpi::{run, UniverseConfig, WORLD};
+    use std::time::Duration;
+
+    #[test]
+    fn renders_fig7_style_diagram() {
+        let plan = kill_after_recv(2, 1, T_N, 2);
+        let cfg = crate::RingConfig::paper(3);
+        let report = run(
+            4,
+            UniverseConfig::with_plan(plan)
+                .watchdog(Duration::from_secs(60))
+                .traced(),
+            move |p| crate::run_ring(p, WORLD, &cfg),
+        );
+        assert!(!report.hung);
+        let diagram = render_sequence_diagram(&report.trace, 4, &DiagramOptions::default());
+        // Lanes present.
+        assert!(diagram.contains("P0") && diagram.contains("P3"));
+        // The death marker and at least one arrow.
+        assert!(diagram.contains("(P2 killed)"), "{diagram}");
+        assert!(diagram.contains("T_N"), "{diagram}");
+        // Line discipline: every body line is non-empty.
+        assert!(diagram.lines().count() >= 4);
+    }
+
+    #[test]
+    fn elides_long_traces() {
+        let cfg = crate::RingConfig::paper(40);
+        let report = run(
+            3,
+            UniverseConfig::default()
+                .watchdog(Duration::from_secs(60))
+                .traced(),
+            move |p| crate::run_ring(p, WORLD, &cfg),
+        );
+        let opts = DiagramOptions { max_rows: 10, ..Default::default() };
+        let diagram = render_sequence_diagram(&report.trace, 3, &opts);
+        assert!(diagram.contains("rows elided"), "{diagram}");
+        assert!(diagram.lines().count() <= 14);
+    }
+
+    #[test]
+    fn leftward_arrows_point_left() {
+        // Synthesize a trace with a right-to-left message.
+        let trace = vec![
+            TimedEvent { at_us: 0, event: Event::Send { src: 2, dst: 0, context: 0, tag: T_N, len: 0 } },
+        ];
+        let d = render_sequence_diagram(&trace, 3, &DiagramOptions::default());
+        assert!(d.contains('<'), "{d}");
+    }
+
+    #[test]
+    fn tag_labels() {
+        assert_eq!(tag_label(T_N), "T_N");
+        assert_eq!(tag_label(T_D), "T_D");
+        assert_eq!(tag_label(T_R), "T_R");
+        assert_eq!(tag_label(9), "t9");
+        assert_eq!(tag_label(-5), "sys");
+    }
+}

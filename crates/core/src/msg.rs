@@ -1,0 +1,82 @@
+//! The ring message (`ring_msg_t`, paper Fig. 3 line 4).
+
+use ftmpi::{Datatype, Tag};
+
+/// Tag for normal ring traffic (`T_N`, paper Fig. 3 line 1).
+pub const T_N: Tag = 1;
+/// Tag for the termination message (`T_D`, paper Fig. 3 line 1).
+pub const T_D: Tag = 2;
+/// Tag for resent ring traffic in the separate-tag duplicate-control
+/// variant (§III-B first option).
+pub const T_R: Tag = 3;
+
+/// `struct ring_msg_t { int value; int marker; }` — plus optional
+/// padding so latency benchmarks can sweep message sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingMsg {
+    /// The accumulated value: the root sets 1, every forwarder
+    /// increments (paper Fig. 3 lines 18/23).
+    pub value: i64,
+    /// The iteration marker used for duplicate control (paper Fig. 3
+    /// lines 17/25, §III-B).
+    pub marker: u64,
+    /// Padding bytes (zeroes) for message-size sweeps; not interpreted.
+    pub pad: Vec<u8>,
+}
+
+impl RingMsg {
+    /// A fresh iteration token as the root originates it.
+    pub fn originate(marker: u64, pad: usize) -> Self {
+        RingMsg { value: 1, marker, pad: vec![0; pad] }
+    }
+
+    /// The token as forwarded by a non-root rank: value incremented.
+    pub fn forwarded(&self) -> Self {
+        RingMsg { value: self.value + 1, marker: self.marker, pad: self.pad.clone() }
+    }
+}
+
+impl Datatype for RingMsg {
+    const SIZE: Option<usize> = None;
+
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.value.encode(buf);
+        self.marker.encode(buf);
+        self.pad.encode(buf);
+    }
+
+    fn decode(bytes: &[u8]) -> ftmpi::Result<(Self, &[u8])> {
+        let (value, rest) = i64::decode(bytes)?;
+        let (marker, rest) = u64::decode(rest)?;
+        let (pad, rest) = Vec::<u8>::decode(rest)?;
+        Ok((RingMsg { value, marker, pad }, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = RingMsg { value: -3, marker: 17, pad: vec![0; 5] };
+        let b = m.to_bytes();
+        assert_eq!(RingMsg::from_bytes(&b).unwrap(), m);
+    }
+
+    #[test]
+    fn originate_and_forward() {
+        let t = RingMsg::originate(4, 0);
+        assert_eq!((t.value, t.marker), (1, 4));
+        let f = t.forwarded().forwarded();
+        assert_eq!((f.value, f.marker), (3, 4));
+    }
+
+    #[test]
+    fn tags_are_distinct_user_tags() {
+        assert!(T_N >= 0 && T_D >= 0 && T_R >= 0);
+        assert_ne!(T_N, T_D);
+        assert_ne!(T_N, T_R);
+        assert_ne!(T_D, T_R);
+    }
+}

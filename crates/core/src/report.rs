@@ -1,0 +1,86 @@
+//! Aggregation of per-rank [`RingStats`] into a run-level summary.
+
+use ftmpi::{RunReport, WorldRank};
+
+use crate::ring::RingStats;
+
+/// Run-level view of a fault-tolerant ring execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RingRunSummary {
+    /// Ranks that returned cleanly.
+    pub survivors: Vec<WorldRank>,
+    /// Ranks that were fail-stopped.
+    pub failed: Vec<WorldRank>,
+    /// Whether the watchdog broke a hang (the Fig. 6 outcome).
+    pub hung: bool,
+    /// Sum of tokens forwarded across survivors.
+    pub total_forwarded: u64,
+    /// Sum of tokens originated.
+    pub total_originated: u64,
+    /// Sum of resends.
+    pub total_resends: u64,
+    /// Sum of dropped duplicates.
+    pub total_duplicates_dropped: u64,
+    /// Sum of wrongly re-forwarded duplicates (Fig. 8 defect count).
+    pub total_duplicate_forwards: u64,
+    /// Sum of detector fires.
+    pub total_detector_fires: u64,
+    /// Closures observed by whichever rank(s) played root, merged in
+    /// observation order per rank.
+    pub closures: Vec<(u64, i64)>,
+    /// Ranks that acted as root (original or by takeover).
+    pub roots: Vec<WorldRank>,
+}
+
+impl RingRunSummary {
+    /// Number of closed ring iterations.
+    pub fn completed_iterations(&self) -> usize {
+        self.closures.len()
+    }
+
+    /// Whether any iteration marker was closed more than once (the
+    /// Fig. 8 double-completion signature).
+    pub fn has_double_completion(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.closures.iter().any(|(m, _)| !seen.insert(*m))
+    }
+}
+
+/// Summarize a run report from [`ftmpi::run`] over [`crate::run_ring`].
+pub fn summarize(report: &RunReport<RingStats>) -> RingRunSummary {
+    let mut s = RingRunSummary { hung: report.hung, ..Default::default() };
+    for (rank, outcome) in report.outcomes.iter().enumerate() {
+        if outcome.is_failed() {
+            s.failed.push(rank);
+            continue;
+        }
+        let Some(stats) = outcome.as_ok() else { continue };
+        s.survivors.push(rank);
+        s.total_forwarded += stats.forwarded;
+        s.total_originated += stats.originated;
+        s.total_resends += stats.resends;
+        s.total_duplicates_dropped += stats.duplicates_dropped;
+        s.total_duplicate_forwards += stats.duplicate_forwards;
+        s.total_detector_fires += stats.detector_fires;
+        if stats.originated > 0 || stats.became_root || !stats.closures.is_empty() {
+            s.roots.push(rank);
+        }
+        s.closures.extend(stats.closures.iter().copied());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_completion_detection() {
+        let mut s = RingRunSummary::default();
+        s.closures = vec![(0, 4), (1, 4), (2, 4)];
+        assert!(!s.has_double_completion());
+        assert_eq!(s.completed_iterations(), 3);
+        s.closures.push((1, 3));
+        assert!(s.has_double_completion());
+    }
+}

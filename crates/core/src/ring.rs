@@ -1,0 +1,411 @@
+//! The fault-tolerant ring orchestrator (paper Fig. 3).
+//!
+//! [`run_ring`] composes the pieces the paper develops one by one:
+//!
+//! * fault-aware neighbour selection (Fig. 4, `neighbors` module);
+//! * `FT_Send_right` (Fig. 5, `send` module);
+//! * `FT_Recv_left` — naive (hangs, Fig. 6) or with the
+//!   Irecv-as-failure-detector (Fig. 9, `recv` module);
+//! * duplicate control (§III-B: none / iteration marker / separate
+//!   resend tag);
+//! * termination detection (Fig. 11 root broadcast / Fig. 13
+//!   `icomm_validate_all`, `termination` module);
+//! * root failover (§III-D, `root_recovery` module).
+//!
+//! ### Token-machine invariants
+//!
+//! The ring carries (at most) one live token per iteration. Markers are
+//! globally sequential: a non-root rank forwards marker `cur` and drops
+//! markers `< cur`; the root originates marker `cur` after observing
+//! the closure of `cur - 1` (the token returning home). A marker
+//! `> cur` is impossible without Byzantine behaviour (§III-B of the
+//! paper) and is treated as a protocol violation.
+
+use std::collections::VecDeque;
+
+use ftmpi::{Comm, CommRank, Error, ErrorHandler, Process, Request, Result};
+
+use crate::msg::RingMsg;
+use crate::neighbors::{get_current_root, to_left_of, to_right_of};
+
+/// Receive-side strategy (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvStrategy {
+    /// Mirror `FT_Send_right`: on failure, re-post to the next left
+    /// neighbour. Correct-looking but hangs when a rank dies holding
+    /// the token (Fig. 6).
+    Naive,
+    /// Keep an `Irecv` posted to the right neighbour as a failure
+    /// detector and resend the last buffer when it fires (Fig. 9).
+    Detector,
+}
+
+/// Duplicate-message control (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupStrategy {
+    /// No control: resends are indistinguishable from new iterations
+    /// and the same iteration can complete twice (Fig. 8).
+    None,
+    /// Piggyback the iteration marker and drop stale tokens (Fig. 10).
+    IterationMarker,
+    /// Carry resends on a separate tag (`T_R`), keeping the normal
+    /// path free of extra matching; stale resends are still filtered
+    /// by marker on the (rare) resend path.
+    SeparateTag,
+}
+
+/// Termination detection (§III-C / §III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationMode {
+    /// No protocol: every rank leaves after its local count. Only safe
+    /// in failure-free runs; used for the baseline and the scenario
+    /// demonstrations.
+    CountOnly,
+    /// The root broadcasts `T_D` to every alive rank; non-roots watch
+    /// their right neighbour meanwhile (Fig. 11). Root failure aborts.
+    RootBroadcast,
+    /// Everyone enters `icomm_validate_all` while watching their right
+    /// neighbour (Fig. 13). No root dependence: required for root
+    /// failover.
+    ValidateAll,
+    /// The approach §III-C describes and rejects: repeated
+    /// `MPI_Ibarrier` rounds (two consecutive clean rounds = done),
+    /// each watched alongside the right-neighbour detector. Costlier
+    /// than both alternatives — reproduced so the benchmark suite can
+    /// show *how much* costlier.
+    DoubleBarrier,
+}
+
+/// Configuration of one fault-tolerant ring run.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Number of ring iterations (`max_iter`).
+    pub max_iter: u64,
+    /// Receive strategy.
+    pub recv: RecvStrategy,
+    /// Duplicate control.
+    pub dedup: DedupStrategy,
+    /// Termination detection.
+    pub termination: TerminationMode,
+    /// Enable §III-D root failover (requires `Detector` +
+    /// `ValidateAll`; `run_ring` enforces this).
+    pub allow_root_failure: bool,
+    /// Extra payload bytes carried by every token (message-size sweeps).
+    pub pad: usize,
+}
+
+impl RingConfig {
+    /// The paper's headline configuration (Fig. 3 with Fig. 9 receive,
+    /// marker dedup, Fig. 11 termination; root must not fail).
+    pub fn paper(max_iter: u64) -> Self {
+        RingConfig {
+            max_iter,
+            recv: RecvStrategy::Detector,
+            dedup: DedupStrategy::IterationMarker,
+            termination: TerminationMode::RootBroadcast,
+            allow_root_failure: false,
+            pad: 0,
+        }
+    }
+
+    /// §III-D configuration: root failover + validate-all termination.
+    pub fn with_root_failover(max_iter: u64) -> Self {
+        RingConfig {
+            max_iter,
+            recv: RecvStrategy::Detector,
+            dedup: DedupStrategy::IterationMarker,
+            termination: TerminationMode::ValidateAll,
+            allow_root_failure: true,
+            pad: 0,
+        }
+    }
+
+    /// The broken first attempt of §III-A (Fig. 6): naive receive.
+    pub fn naive(max_iter: u64) -> Self {
+        RingConfig {
+            max_iter,
+            recv: RecvStrategy::Naive,
+            dedup: DedupStrategy::IterationMarker,
+            termination: TerminationMode::CountOnly,
+            allow_root_failure: false,
+            pad: 0,
+        }
+    }
+
+    /// Detector receive but no duplicate control (Fig. 8).
+    pub fn no_dedup(max_iter: u64) -> Self {
+        RingConfig {
+            max_iter,
+            recv: RecvStrategy::Detector,
+            dedup: DedupStrategy::None,
+            termination: TerminationMode::CountOnly,
+            allow_root_failure: false,
+            pad: 0,
+        }
+    }
+
+    /// Builder-style pad override.
+    pub fn pad(mut self, pad: usize) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Builder-style termination override.
+    pub fn termination(mut self, t: TerminationMode) -> Self {
+        self.termination = t;
+        self
+    }
+
+    /// Builder-style dedup override.
+    pub fn dedup(mut self, d: DedupStrategy) -> Self {
+        self.dedup = d;
+        self
+    }
+}
+
+/// Per-rank statistics of a ring run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Tokens this rank originated (root role).
+    pub originated: u64,
+    /// Tokens this rank forwarded (non-root role).
+    pub forwarded: u64,
+    /// Closures observed at the root: `(marker, value)` pairs, in
+    /// observation order. The values let experiments check how many
+    /// ranks contributed to each lap.
+    pub closures: Vec<(u64, i64)>,
+    /// Stale/duplicate tokens dropped by duplicate control.
+    pub duplicates_dropped: u64,
+    /// Tokens accepted more than once per iteration (only possible
+    /// with `DedupStrategy::None`; this is the Fig. 8 defect counter).
+    pub duplicate_forwards: u64,
+    /// Resends performed after a right-neighbour failure.
+    pub resends: u64,
+    /// Times the failure-detector receive fired.
+    pub detector_fires: u64,
+    /// Left-neighbour changes.
+    pub left_switches: u64,
+    /// Right-neighbour changes.
+    pub right_switches: u64,
+    /// Whether this rank took over as root (§III-D).
+    pub became_root: bool,
+    /// Failed-rank count agreed by the terminating `validate_all`.
+    pub validate_failed: Option<usize>,
+    /// Whether termination completed cleanly.
+    pub terminated: bool,
+}
+
+/// Internal per-rank ring state.
+pub(crate) struct Ctx<'a> {
+    pub p: &'a mut Process,
+    pub comm: Comm,
+    pub cfg: RingConfig,
+    pub me: CommRank,
+    pub left: CommRank,
+    pub right: CommRank,
+    pub root: CommRank,
+    pub is_root: bool,
+    /// Non-root: next marker to forward. Root: next marker to
+    /// originate.
+    pub cur: u64,
+    /// Root only: set once the closure of `max_iter - 1` is seen.
+    pub done: bool,
+    pub last_sent: Option<RingMsg>,
+    /// Posted receive for normal tokens: (request, peer it targets).
+    pub normal: Option<(Request, CommRank)>,
+    /// Posted receive for resent tokens (SeparateTag only).
+    pub resend_rx: Option<(Request, CommRank)>,
+    /// Failure-detector receive posted to the right neighbour.
+    pub detector: Option<(Request, CommRank)>,
+    /// Tokens recovered from receives that had completed when their
+    /// peer slot was recycled.
+    pub pending: VecDeque<RingMsg>,
+    pub stats: RingStats,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(p: &'a mut Process, comm: Comm, cfg: RingConfig) -> Result<Self> {
+        let me = p.comm_rank(comm)?;
+        let left = to_left_of(p, comm, me).unwrap_or(me);
+        let right = to_right_of(p, comm, me).unwrap_or(me);
+        let root = get_current_root(p, comm)?;
+        Ok(Ctx {
+            me,
+            left,
+            right,
+            is_root: root == me,
+            root,
+            p,
+            comm,
+            cfg,
+            cur: 0,
+            done: false,
+            last_sent: None,
+            normal: None,
+            resend_rx: None,
+            detector: None,
+            pending: VecDeque::new(),
+            stats: RingStats::default(),
+        })
+    }
+
+    /// Originate the token for iteration `self.cur` (root role) and
+    /// advance.
+    pub(crate) fn originate_next(&mut self) -> Result<()> {
+        debug_assert!(self.is_root);
+        let token = RingMsg::originate(self.cur, self.cfg.pad);
+        self.ft_send_right(token, false)?;
+        self.stats.originated += 1;
+        self.cur += 1;
+        Ok(())
+    }
+
+    /// Handle a token at the root (including a root that took over).
+    fn root_handle_token(&mut self, t: RingMsg) -> Result<()> {
+        match self.cfg.dedup {
+            DedupStrategy::None => {
+                // No way to tell closures from duplicates: every token
+                // coming home is treated as the current lap finishing —
+                // the Fig. 8 defect, observable in `closures`.
+                self.stats.closures.push((t.marker, t.value));
+                if self.cur < self.cfg.max_iter {
+                    self.originate_next()?;
+                } else {
+                    self.done = true;
+                }
+            }
+            DedupStrategy::IterationMarker | DedupStrategy::SeparateTag => {
+                if t.marker == self.cur {
+                    // A token originated by the failed previous root:
+                    // participate like a forwarder (§III-D takeover).
+                    let fwd = t.forwarded();
+                    self.ft_send_right(fwd, false)?;
+                    self.stats.forwarded += 1;
+                    self.cur += 1;
+                } else if t.marker + 1 == self.cur {
+                    self.stats.closures.push((t.marker, t.value));
+                    if self.cur < self.cfg.max_iter {
+                        self.originate_next()?;
+                    } else {
+                        self.done = true;
+                    }
+                } else if t.marker + 1 < self.cur {
+                    self.stats.duplicates_dropped += 1;
+                } else {
+                    return Err(Error::InvalidState(
+                        "token from a future iteration: protocol violation",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle a token at a non-root rank.
+    fn nonroot_handle_token(&mut self, t: RingMsg) -> Result<()> {
+        match self.cfg.dedup {
+            DedupStrategy::None => {
+                if t.marker < self.cur {
+                    // Without duplicate control the resend is forwarded
+                    // again — the Fig. 8 double completion. Count it.
+                    self.stats.duplicate_forwards += 1;
+                }
+                let fwd = t.forwarded();
+                self.ft_send_right(fwd, false)?;
+                self.stats.forwarded += 1;
+                self.cur += 1;
+            }
+            DedupStrategy::IterationMarker | DedupStrategy::SeparateTag => {
+                if t.marker == self.cur {
+                    let fwd = t.forwarded();
+                    self.ft_send_right(fwd, false)?;
+                    self.stats.forwarded += 1;
+                    self.cur += 1;
+                } else if t.marker < self.cur {
+                    self.stats.duplicates_dropped += 1;
+                } else {
+                    return Err(Error::InvalidState(
+                        "token from a future iteration: protocol violation",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the main ring loop to completion of this rank's part.
+    fn main_loop(&mut self) -> Result<()> {
+        if self.cfg.max_iter == 0 {
+            return Ok(());
+        }
+        if self.is_root {
+            self.originate_next()?;
+        }
+        loop {
+            if self.is_root {
+                if self.done {
+                    return Ok(());
+                }
+            } else if self.cur >= self.cfg.max_iter {
+                return Ok(());
+            }
+            let token = self.recv_token()?;
+            if self.is_root {
+                self.root_handle_token(token)?;
+            } else {
+                self.nonroot_handle_token(token)?;
+            }
+        }
+    }
+
+    /// Tear down posted receives before the termination phase (late
+    /// tokens are absorbed by the unexpected queue and dropped; every
+    /// rank that still needs them is covered by the resend machinery).
+    pub(crate) fn cancel_receivers(&mut self) {
+        for slot in [&mut self.normal, &mut self.resend_rx] {
+            if let Some((req, _)) = slot.take() {
+                if self.p.test(req).ok().flatten().is_none() {
+                    let _ = self.p.cancel(req);
+                }
+            }
+        }
+    }
+}
+
+/// Run the fault-tolerant ring (paper Fig. 3) on this rank.
+///
+/// Installs `ErrorsReturn` on the communicator (Fig. 3 line 10), runs
+/// the main loop, then the configured termination protocol, and
+/// returns this rank's [`RingStats`].
+///
+/// **Recovery extension caveat:** do not combine the ring with
+/// `UniverseConfig::respawning`. A respawned rank has lost its
+/// iteration state, and the ring (faithful to the paper, which scopes
+/// recovery out) has no state-transfer protocol — neighbours would
+/// route tokens to a rank that cannot handle them. The
+/// `apps::diskless` solver shows what such a state-transfer protocol
+/// looks like for recoverable workloads.
+pub fn run_ring(p: &mut Process, comm: Comm, cfg: &RingConfig) -> Result<RingStats> {
+    if cfg.allow_root_failure {
+        assert!(
+            matches!(
+                cfg.termination,
+                TerminationMode::ValidateAll | TerminationMode::DoubleBarrier
+            ),
+            "root failover requires a root-independent termination (the \
+             root broadcast of Fig. 11 dies with the root)"
+        );
+        assert_eq!(
+            cfg.recv,
+            RecvStrategy::Detector,
+            "root failover requires the failure-detector receive"
+        );
+    }
+    p.set_errhandler(comm, ErrorHandler::ErrorsReturn)?;
+    let mut ctx = Ctx::new(p, comm, cfg.clone())?;
+    ctx.main_loop()?;
+    ctx.cancel_receivers();
+    ctx.run_termination()?;
+    ctx.stats.terminated = true;
+    Ok(ctx.stats)
+}

@@ -1,0 +1,156 @@
+//! `FT_Send_right` (paper Fig. 5).
+//!
+//! "The application attempts to send the buffer to `P_R`. If this
+//! fails then it chooses the next alive rank that is to the right of
+//! `P_R` and attempts to resend the message. It continues this until
+//! either the function successfully sends the message, or finds itself
+//! alone in the communicator and calls `MPI_Abort`."
+
+use ftmpi::{Error, Result};
+
+use crate::msg::{RingMsg, T_N, T_R};
+use crate::neighbors::to_right_of;
+use crate::ring::{Ctx, DedupStrategy};
+
+impl Ctx<'_> {
+    /// Send `msg` to the current right neighbour, walking right past
+    /// failures. Remembers the message for later resends (Fig. 9) and
+    /// keeps the failure-detector receive pointed at the (possibly
+    /// new) right neighbour.
+    pub(crate) fn ft_send_right(&mut self, msg: RingMsg, resend: bool) -> Result<()> {
+        let tag = if resend && self.cfg.dedup == DedupStrategy::SeparateTag { T_R } else { T_N };
+        loop {
+            match self.p.send(self.comm, self.right, tag, &msg) {
+                Ok(()) => {
+                    self.last_sent = Some(msg);
+                    if resend {
+                        self.stats.resends += 1;
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_terminal() => return Err(e),
+                Err(Error::RankFailStop { .. }) => {
+                    self.advance_right()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Move the right neighbour past a failure and re-aim the failure
+    /// detector. Aborts the job when alone, per the paper.
+    pub(crate) fn advance_right(&mut self) -> Result<()> {
+        match to_right_of(self.p, self.comm, self.right) {
+            Ok(r) => {
+                self.right = r;
+                self.stats.right_switches += 1;
+                self.repoint_detector()?;
+                // §III-D: if the rank we just walked past was the root,
+                // re-elect (possibly becoming root ourselves).
+                self.check_root_change()?;
+                Ok(())
+            }
+            Err(Error::InvalidState(_)) => {
+                // Alone in the communicator (Fig. 4 / Fig. 5).
+                Err(self.p.abort(self.comm, -1))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::msg::RingMsg;
+    use crate::ring::{Ctx, RingConfig};
+    use faultsim::{FaultPlan, HookKind};
+    use ftmpi::{run, run_default, ErrorHandler, Src, UniverseConfig, WORLD};
+    use std::time::Duration;
+
+    #[test]
+    fn send_right_reaches_immediate_neighbor() {
+        let report = run_default(3, |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            if p.world_rank() == 0 {
+                let mut ctx = Ctx::new(p, WORLD, RingConfig::paper(1))?;
+                ctx.ft_send_right(RingMsg::originate(0, 0), false)?;
+                Ok(0)
+            } else if p.world_rank() == 1 {
+                let (m, st) = p.recv::<RingMsg>(WORLD, Src::Rank(0), crate::msg::T_N)?;
+                assert_eq!(st.source, Some(0));
+                Ok(m.value as usize)
+            } else {
+                Ok(9)
+            }
+        });
+        assert_eq!(report.outcomes[1].as_ok(), Some(&1));
+    }
+
+    #[test]
+    fn send_right_skips_a_dead_neighbor() {
+        // Rank 1 dies before rank 0 sends; the send must land at 2.
+        let plan = FaultPlan::none().kill_at(1, HookKind::Tick, 1);
+        let report = run(
+            3,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                match p.world_rank() {
+                    0 => {
+                        while p.comm_validate_rank(WORLD, 1)?.state == ftmpi::RankState::Ok {
+                            std::thread::yield_now();
+                        }
+                        let mut ctx = Ctx::new(p, WORLD, RingConfig::paper(1))?;
+                        // Neighbour scan already skips rank 1 at ctx
+                        // creation; force the Fig. 5 resend path by
+                        // aiming at the dead rank explicitly.
+                        ctx.right = 1;
+                        ctx.ft_send_right(RingMsg::originate(7, 0), false)?;
+                        assert_eq!(ctx.right, 2, "send walked past the failure");
+                        assert_eq!(ctx.stats.right_switches, 1);
+                        Ok(0)
+                    }
+                    1 => {
+                        let req = p.irecv(WORLD, Src::Rank(0), 99)?;
+                        let _ = p.wait(req)?;
+                        Ok(0)
+                    }
+                    _ => {
+                        let (m, _) = p.recv::<RingMsg>(WORLD, Src::Rank(0), crate::msg::T_N)?;
+                        Ok(m.marker as usize)
+                    }
+                }
+            },
+        );
+        assert_eq!(report.outcomes[2].as_ok(), Some(&7));
+    }
+
+    #[test]
+    fn alone_sender_aborts_per_fig5() {
+        let plan = FaultPlan::none().kill_at(1, HookKind::Tick, 1);
+        let report = run(
+            2,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                if p.world_rank() == 1 {
+                    let req = p.irecv(WORLD, Src::Rank(0), 99)?;
+                    let _ = p.wait(req)?;
+                    return Ok(());
+                }
+                while p.comm_validate_rank(WORLD, 1)?.state == ftmpi::RankState::Ok {
+                    std::thread::yield_now();
+                }
+                let mut ctx = Ctx::new(p, WORLD, RingConfig::paper(1))?;
+                ctx.right = 1;
+                let err = ctx.ft_send_right(RingMsg::originate(0, 0), false).unwrap_err();
+                assert!(matches!(err, ftmpi::Error::Aborted { code: -1 }));
+                Err(err)
+            },
+        );
+        assert!(matches!(
+            report.outcomes[0],
+            ftmpi::RankOutcome::Aborted { code: -1 }
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! The armed, shared form of a fault plan.
+//!
+//! The runtime holds an `Arc<Injector>` and calls [`Injector::observe`]
+//! at every protocol point. `observe` is called *very* often on hot
+//! paths, so the empty-plan case is a single relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::plan::{FaultAction, FaultPlan};
+use crate::trigger::Hook;
+use crate::Rank;
+
+/// What the runtime must do after reporting a hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Nothing fired; carry on.
+    Continue,
+    /// The observing rank must fail-stop *now*.
+    KillSelf,
+    /// The listed ranks must be fail-stopped (asynchronously, by the
+    /// runtime's kill mechanism); the observer itself continues.
+    KillOthers(KillList),
+}
+
+/// Up to two victims of a cross-rank kill; plans needing more use
+/// multiple rules.
+pub type KillList = [Option<Rank>; 2];
+
+struct ArmedRule {
+    observer: Rank,
+    trigger: crate::trigger::Trigger,
+    action: FaultAction,
+    /// Occurrence counter for this rule (counts matching hooks).
+    count: AtomicU64,
+    /// Fired rules never fire again.
+    fired: AtomicBool,
+}
+
+/// Thread-safe armed fault plan consulted by the runtime.
+pub struct Injector {
+    rules: Vec<ArmedRule>,
+    /// Fast path: true when there are no rules at all.
+    empty: bool,
+    /// Record of (victim, hook) for every fired rule, for test assertions.
+    fired_log: Mutex<Vec<(Rank, Hook)>>,
+}
+
+impl Injector {
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rules = plan
+            .rules()
+            .iter()
+            .map(|r| ArmedRule {
+                observer: r.observer,
+                trigger: r.trigger,
+                action: r.action,
+                count: AtomicU64::new(0),
+                fired: AtomicBool::new(false),
+            })
+            .collect::<Vec<_>>();
+        Injector { empty: rules.is_empty(), rules, fired_log: Mutex::new(Vec::new()) }
+    }
+
+    /// An injector that never fires.
+    pub fn disarmed() -> Self {
+        Injector::new(FaultPlan::none())
+    }
+
+    /// Report that `rank` reached protocol point `hook`.
+    ///
+    /// Counts occurrences per rule and returns the combined decision.
+    /// If several rules fire on the same hook, `KillSelf` dominates.
+    pub fn observe(&self, rank: Rank, hook: &Hook) -> Decision {
+        if self.empty {
+            return Decision::Continue;
+        }
+        let mut kill_self = false;
+        let mut others: KillList = [None, None];
+        let mut n_others = 0usize;
+        for rule in &self.rules {
+            if rule.observer != rank || rule.fired.load(Ordering::Acquire) {
+                continue;
+            }
+            if !rule.trigger.matches(hook) {
+                continue;
+            }
+            let seen = rule.count.fetch_add(1, Ordering::AcqRel) + 1;
+            if seen != rule.trigger.occurrence {
+                continue;
+            }
+            if rule.fired.swap(true, Ordering::AcqRel) {
+                continue; // raced; already fired
+            }
+            match rule.action {
+                FaultAction::Kill => {
+                    kill_self = true;
+                    self.fired_log.lock().push((rank, *hook));
+                }
+                FaultAction::KillOther(victim) => {
+                    if n_others < others.len() {
+                        others[n_others] = Some(victim);
+                        n_others += 1;
+                    }
+                    self.fired_log.lock().push((victim, *hook));
+                }
+            }
+        }
+        if kill_self {
+            Decision::KillSelf
+        } else if n_others > 0 {
+            Decision::KillOthers(others)
+        } else {
+            Decision::Continue
+        }
+    }
+
+    /// Whether the injector has no rules (nothing can ever fire).
+    pub fn is_disarmed(&self) -> bool {
+        self.empty
+    }
+
+    /// Number of rules that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.fired_log.lock().len()
+    }
+
+    /// Snapshot of (victim, hook) pairs for fired rules, in firing order.
+    pub fn fired_log(&self) -> Vec<(Rank, Hook)> {
+        self.fired_log.lock().clone()
+    }
+
+    /// True once every rule has fired.
+    pub fn exhausted(&self) -> bool {
+        self.rules.iter().all(|r| r.fired.load(Ordering::Acquire))
+    }
+}
+
+impl std::fmt::Debug for Injector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector")
+            .field("rules", &self.rules.len())
+            .field("fired", &self.fired_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultRule;
+    use crate::trigger::{HookKind, Trigger};
+
+    #[test]
+    fn disarmed_always_continues() {
+        let inj = Injector::disarmed();
+        assert!(inj.is_disarmed());
+        assert_eq!(
+            inj.observe(0, &Hook::bare(HookKind::Tick)),
+            Decision::Continue
+        );
+    }
+
+    #[test]
+    fn fires_on_exact_occurrence_only_once() {
+        let plan = FaultPlan::none().with(FaultRule::kill(
+            2,
+            Trigger::on(HookKind::AfterRecvComplete).nth(3),
+        ));
+        let inj = Injector::new(plan);
+        let hook = Hook::recv(HookKind::AfterRecvComplete, Some(1), 1);
+        assert_eq!(inj.observe(2, &hook), Decision::Continue);
+        assert_eq!(inj.observe(2, &hook), Decision::Continue);
+        assert_eq!(inj.observe(2, &hook), Decision::KillSelf);
+        // Already fired: later occurrences are ignored.
+        assert_eq!(inj.observe(2, &hook), Decision::Continue);
+        assert!(inj.exhausted());
+        assert_eq!(inj.fired_count(), 1);
+    }
+
+    #[test]
+    fn other_ranks_hooks_do_not_count() {
+        let plan = FaultPlan::none().kill_at(1, HookKind::AfterSend, 1);
+        let inj = Injector::new(plan);
+        let hook = Hook::send(HookKind::AfterSend, 0, 1);
+        assert_eq!(inj.observe(0, &hook), Decision::Continue);
+        assert_eq!(inj.observe(1, &hook), Decision::KillSelf);
+    }
+
+    #[test]
+    fn kill_other_reports_victims() {
+        let plan = FaultPlan::none().with(FaultRule::kill_other(
+            3,
+            2,
+            Trigger::on(HookKind::AfterSend).peer(0),
+        ));
+        let inj = Injector::new(plan);
+        let hook = Hook::send(HookKind::AfterSend, 0, 1);
+        match inj.observe(3, &hook) {
+            Decision::KillOthers(list) => assert_eq!(list[0], Some(2)),
+            d => panic!("unexpected decision {d:?}"),
+        }
+        assert_eq!(inj.fired_log(), vec![(2, hook)]);
+    }
+
+    #[test]
+    fn kill_self_dominates_kill_other_on_same_hook() {
+        let trig = Trigger::on(HookKind::Tick);
+        let plan = FaultPlan::none()
+            .with(FaultRule::kill_other(0, 5, trig))
+            .with(FaultRule::kill(0, trig));
+        let inj = Injector::new(plan);
+        assert_eq!(inj.observe(0, &Hook::bare(HookKind::Tick)), Decision::KillSelf);
+    }
+
+    #[test]
+    fn concurrent_observation_fires_exactly_once() {
+        use std::sync::Arc;
+        let plan = FaultPlan::none().kill_at(0, HookKind::Tick, 100);
+        let inj = Arc::new(Injector::new(plan));
+        let mut handles = Vec::new();
+        let kills = Arc::new(AtomicU64::new(0));
+        for _ in 0..8 {
+            let inj = Arc::clone(&inj);
+            let kills = Arc::clone(&kills);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    if inj.observe(0, &Hook::bare(HookKind::Tick)) == Decision::KillSelf {
+                        kills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kills.load(Ordering::Relaxed), 1);
+    }
+}

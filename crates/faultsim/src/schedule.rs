@@ -1,0 +1,122 @@
+//! Asynchronous fault schedules.
+//!
+//! Hook-based plans kill a rank at a protocol point *it* reaches. An
+//! [`AsyncSchedule`] instead kills ranks from the outside — after a
+//! wall-clock delay — which models the "operator pulled the plug"
+//! failure mode and exercises races that hook-based plans cannot (the
+//! victim may be anywhere, including blocked in a wait).
+//!
+//! The runtime provides a [`KillHandle`]; the schedule runs on its own
+//! thread and invokes it at the programmed instants.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::Rank;
+
+/// Runtime-provided fail-stop primitive: kill the given world rank now.
+///
+/// Must be idempotent and safe to call for already-failed ranks.
+pub type KillHandle = Arc<dyn Fn(Rank) + Send + Sync>;
+
+/// One programmed kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedKill {
+    /// Delay from schedule start.
+    pub after: Duration,
+    /// Victim world rank.
+    pub victim: Rank,
+}
+
+/// A wall-clock fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct AsyncSchedule {
+    kills: Vec<TimedKill>,
+}
+
+impl AsyncSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        AsyncSchedule::default()
+    }
+
+    /// Add a kill of `victim` after `after` from schedule start.
+    pub fn kill_after(mut self, victim: Rank, after: Duration) -> Self {
+        self.kills.push(TimedKill { after, victim });
+        self
+    }
+
+    /// The programmed kills (unsorted, as added).
+    pub fn kills(&self) -> &[TimedKill] {
+        &self.kills
+    }
+
+    /// Start the schedule on a background thread.
+    ///
+    /// Returns a handle that can be joined; dropping the handle detaches
+    /// the schedule (it still runs to completion).
+    pub fn start(mut self, kill: KillHandle) -> ScheduleHandle {
+        self.kills.sort_by_key(|k| k.after);
+        let thread = std::thread::Builder::new()
+            .name("faultsim-schedule".into())
+            .spawn(move || {
+                let t0 = std::time::Instant::now();
+                for k in self.kills {
+                    let now = t0.elapsed();
+                    if k.after > now {
+                        std::thread::sleep(k.after - now);
+                    }
+                    kill(k.victim);
+                }
+            })
+            .expect("spawn schedule thread");
+        ScheduleHandle { thread: Some(thread) }
+    }
+}
+
+/// Handle to a running [`AsyncSchedule`].
+pub struct ScheduleHandle {
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ScheduleHandle {
+    /// Wait for every programmed kill to have been issued.
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ScheduleHandle {
+    fn drop(&mut self) {
+        // Detach: the schedule thread completes on its own.
+        let _ = self.thread.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn kills_are_issued_in_time_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let kill: KillHandle = Arc::new(move |r| log2.lock().push(r));
+        AsyncSchedule::new()
+            .kill_after(2, Duration::from_millis(20))
+            .kill_after(1, Duration::from_millis(5))
+            .start(kill)
+            .join();
+        assert_eq!(*log.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_schedule_completes() {
+        let kill: KillHandle = Arc::new(|_| panic!("no kills expected"));
+        AsyncSchedule::new().start(kill).join();
+    }
+}

@@ -1,0 +1,245 @@
+//! Allgather and all-to-all exchange.
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::{Error, Result};
+use crate::process::Process;
+use crate::rank::CommRank;
+
+use super::{OP_ALLGATHER, OP_ALLTOALL};
+
+impl Process {
+    /// `MPI_Allgather`: every active participant receives every
+    /// participant's `(comm_rank, value)` pair, in active-rank order.
+    ///
+    /// Implemented as gather-to-lowest-active + broadcast, reusing the
+    /// fault behaviour of both phases.
+    ///
+    /// Composition invariant: the broadcast phase's instance is
+    /// entered even when the gather phase failed, so instance counters
+    /// stay aligned across ranks (see `allreduce` for the full
+    /// argument).
+    pub fn allgather<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        value: &T,
+    ) -> Result<Vec<(CommRank, T)>> {
+        let root = {
+            let c = self.comm_data(comm)?;
+            *c.collective_active().first().expect("self is active")
+        };
+        let gathered = match self.gather(comm, root, value) {
+            Ok(v) => Ok(v),
+            Err(e) if e.is_terminal() => return Err(e),
+            Err(e) => Err(e),
+        };
+
+        let (cctx, entry_err) = self.coll_begin(comm, OP_ALLGATHER, "allgather.bcast")?;
+        let vroot = self.coll_vroot(&cctx, root);
+        let abort_phase2 = match (&gathered, entry_err) {
+            (Err(e), _) => Some(e.clone()),
+            (Ok(_), Some(e)) => Some(e),
+            (Ok(_), None) => None,
+        };
+        if let Some(e) = abort_phase2 {
+            if let Ok(vr) = vroot {
+                self.bcast_abandon(&cctx, vr);
+            }
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        let vroot = match vroot {
+            Ok(vr) => vr,
+            Err(e) => return Err(self.fail_op(Some(comm.0), e)),
+        };
+        let payload = gathered.expect("checked above").map(|pairs| {
+            let encoded: Vec<(u64, T)> = pairs.into_iter().map(|(r, v)| (r as u64, v)).collect();
+            encoded.to_bytes()
+        });
+        match self.bcast_inner(&cctx, vroot, payload) {
+            Ok(bytes) => {
+                self.coll_end()?;
+                let decoded = Vec::<(u64, T)>::from_bytes(&bytes)
+                    .map_err(|e| self.fail_op(Some(comm.0), e))?;
+                Ok(decoded.into_iter().map(|(r, v)| (r as CommRank, v)).collect())
+            }
+            Err(e) => Err(self.fail_op(Some(comm.0), e)),
+        }
+    }
+
+    /// `MPI_Alltoall`: participant at active index `i` sends
+    /// `values[j]` to active index `j` and receives a vector indexed by
+    /// active position. `values.len()` must equal the active size.
+    ///
+    /// All sends complete (eagerly) before any receive is posted, so a
+    /// failure shows up as receive errors, never a hang.
+    #[allow(clippy::needless_range_loop)] // v doubles as the virtual rank
+    pub fn alltoall<T: Datatype>(&mut self, comm: Comm, values: &[T]) -> Result<Vec<T>> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_ALLTOALL, "alltoall")?;
+        if let Some(e) = entry_err {
+            // Everyone waits on everyone: poison all peers.
+            self.coll_poisoned(&cctx);
+            for v in 0..cctx.size() {
+                if v != cctx.vrank {
+                    self.coll_poison(&cctx, v);
+                }
+            }
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        if values.len() != cctx.size() {
+            // Peers will wait for our contribution: poison so a local
+            // usage error cannot wedge the rest of the job.
+            self.coll_poisoned(&cctx);
+            for v in 0..cctx.size() {
+                if v != cctx.vrank {
+                    self.coll_poison(&cctx, v);
+                }
+            }
+            return Err(self.fail_op(
+                Some(comm.0),
+                Error::InvalidState("alltoall needs one value per active rank"),
+            ));
+        }
+        // Phase 1: eager sends to everyone (self handled locally).
+        let mut first_err = None;
+        for v in 0..cctx.size() {
+            if v == cctx.vrank {
+                continue;
+            }
+            if let Err(e) = self.coll_send(&cctx, v, values[v].to_bytes()) {
+                if e.is_terminal() {
+                    return Err(e);
+                }
+                first_err.get_or_insert(e);
+            }
+        }
+        // Phase 2: receive from everyone.
+        let mut out: Vec<Option<T>> = (0..cctx.size()).map(|_| None).collect();
+        out[cctx.vrank] = Some(T::from_bytes(&values[cctx.vrank].to_bytes())?);
+        for v in 0..cctx.size() {
+            if v == cctx.vrank {
+                continue;
+            }
+            match self.coll_recv(&cctx, v) {
+                Ok(bytes) => out[v] = Some(T::from_bytes(&bytes)?),
+                Err(e) => {
+                    if e.is_terminal() {
+                        return Err(e);
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(self.fail_op(Some(comm.0), e)),
+            None => {
+                self.coll_end()?;
+                Ok(out.into_iter().map(|v| v.expect("filled")).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::WORLD;
+    use crate::error::{Error, ErrorHandler};
+    use crate::universe::{run, run_default, UniverseConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        for n in [1usize, 2, 5, 8] {
+            let report = run_default(n, move |p| {
+                let mine = (p.world_rank() * 7) as u64;
+                p.allgather(WORLD, &mine)
+            });
+            assert!(report.all_ok(), "n={n}");
+            let expected: Vec<(usize, u64)> = (0..n).map(|r| (r, (r * 7) as u64)).collect();
+            for o in &report.outcomes {
+                assert_eq!(o.as_ok(), Some(&expected));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let n = 4;
+        let report = run_default(n, move |p| {
+            let me = p.world_rank() as i64;
+            // values[j] = me * 100 + j
+            let values: Vec<i64> = (0..n as i64).map(|j| me * 100 + j).collect();
+            p.alltoall(WORLD, &values)
+        });
+        assert!(report.all_ok());
+        for (r, o) in report.outcomes.iter().enumerate() {
+            let got = o.as_ok().unwrap();
+            // received[j] = j * 100 + r
+            let expected: Vec<i64> = (0..n as i64).map(|j| j * 100 + r as i64).collect();
+            assert_eq!(got, &expected, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn alltoall_wrong_arity_rejected() {
+        let report = run_default(2, |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            match p.alltoall::<i64>(WORLD, &[1]) {
+                Err(Error::InvalidState(_)) => Ok(()),
+                other => panic!("expected InvalidState, got {other:?}"),
+            }
+        });
+        // Note: with mismatched arity one rank aborts the exchange; the
+        // other may error too. We only assert the reporting rank.
+        assert!(report.outcomes[0].is_ok() || report.outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn alltoall_with_dead_rank_errors_not_hangs() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(2, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            4,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                let values = vec![1i64; 4];
+                match p.alltoall(WORLD, &values) {
+                    Ok(_) => Ok(true),
+                    Err(Error::RankFailStop { .. }) => Ok(false),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        for (r, v) in report.ok_values() {
+            assert!(!v, "rank {r} cannot complete an alltoall missing a peer");
+        }
+    }
+
+    #[test]
+    fn allgather_after_validate_excludes_failed() {
+        let plan = faultsim::FaultPlan::none().kill_at(1, faultsim::HookKind::Tick, 1);
+        let report = run(
+            4,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                if p.world_rank() == 1 {
+                    let req = p.irecv(WORLD, crate::process::Src::Rank(0), 9)?;
+                    let _ = p.wait(req)?;
+                    return Ok(vec![]);
+                }
+                while p.comm_validate_rank(WORLD, 1)?.state == crate::rank::RankState::Ok {
+                    std::thread::yield_now();
+                }
+                p.comm_validate_all(WORLD)?;
+                p.allgather(WORLD, &p.world_rank())
+            },
+        );
+        assert!(!report.hung);
+        let expected: Vec<(usize, usize)> = vec![(0, 0), (2, 2), (3, 3)];
+        for r in [0usize, 2, 3] {
+            assert_eq!(report.outcomes[r].as_ok(), Some(&expected), "rank {r}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Binomial-tree broadcast.
+
+use bytes::Bytes;
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::{Error, Result};
+use crate::process::Process;
+use crate::rank::CommRank;
+
+use super::{binomial_children, binomial_parent, CollCtx, OP_BCAST};
+
+impl Process {
+    /// `MPI_Bcast`: the root's value is delivered to every active
+    /// participant. The root passes `Some(value)`, everyone else
+    /// `None`; all callers receive the broadcast value on success.
+    ///
+    /// Return codes are deliberately *not* consistent under failure: a
+    /// rank that has already forwarded to its children may return
+    /// success while descendants of a failed rank return
+    /// `RankFailStop` (see §II of the paper).
+    pub fn bcast<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        root: CommRank,
+        value: Option<&T>,
+    ) -> Result<T> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_BCAST, "bcast")?;
+        let vroot = match entry_err {
+            Some(e) => {
+                // Dependents cannot be computed without a live root
+                // mapping; poison children assuming root position 0 is
+                // wrong — instead poison using our own subtree relative
+                // to the root *if* the root maps. Otherwise nobody can
+                // be waiting on us (we never joined the tree).
+                if let Ok(vroot) = self.coll_vroot(&cctx, root) {
+                    self.bcast_abandon(&cctx, vroot);
+                }
+                return Err(self.fail_op(Some(comm.0), e));
+            }
+            None => self.coll_vroot(&cctx, root).map_err(|e| self.fail_op(Some(comm.0), e))?,
+        };
+        match self.bcast_inner(&cctx, vroot, value.map(Datatype::to_bytes)) {
+            Ok(bytes) => {
+                self.coll_end()?;
+                T::from_bytes(&bytes).map_err(|e| self.fail_op(Some(comm.0), e))
+            }
+            Err(e) => Err(self.fail_op(Some(comm.0), e)),
+        }
+    }
+
+    /// Raw-bytes broadcast used internally by other collectives.
+    pub(crate) fn bcast_inner(
+        &mut self,
+        cctx: &CollCtx,
+        vroot: usize,
+        value: Option<Bytes>,
+    ) -> Result<Bytes> {
+        let m = cctx.size();
+        let u = (cctx.vrank + m - vroot) % m;
+        let abs = |rel: usize| (rel + vroot) % m;
+
+        // Receive phase (non-root).
+        let data = if u == 0 {
+            value.ok_or(Error::InvalidState("bcast root must supply a value"))?
+        } else {
+            let (parent, _) = binomial_parent(u, m).expect("non-root has a parent");
+            match self.coll_recv(cctx, abs(parent)) {
+                Ok(d) => d,
+                Err(e) => {
+                    if !e.is_terminal() {
+                        self.bcast_abandon(cctx, vroot);
+                    }
+                    return Err(e);
+                }
+            }
+        };
+
+        // Forward phase: send to children; a dead child is recorded but
+        // the remaining subtrees still get the data.
+        let mut first_err = None;
+        for child in binomial_children(u, m) {
+            if let Err(e) = self.coll_send(cctx, abs(child), data.clone()) {
+                if e.is_terminal() {
+                    return Err(e);
+                }
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(data),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Poison our children: they wait on us and we are leaving with an
+    /// error.
+    pub(crate) fn bcast_abandon(&mut self, cctx: &CollCtx, vroot: usize) {
+        let m = cctx.size();
+        let u = (cctx.vrank + m - vroot) % m;
+        self.coll_poisoned(cctx);
+        for child in binomial_children(u, m) {
+            self.coll_poison(cctx, (child + vroot) % m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::WORLD;
+    use crate::error::{Error, ErrorHandler};
+    use crate::process::Src;
+    use crate::universe::{run, run_default, UniverseConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn bcast_delivers_to_everyone() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let report = run_default(n, move |p| {
+                let v = if p.world_rank() == 0 { Some(12345i64) } else { None };
+                p.bcast(WORLD, 0, v.as_ref())
+            });
+            assert!(report.all_ok(), "n={n}");
+            for o in &report.outcomes {
+                assert_eq!(o.as_ok(), Some(&12345));
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let report = run_default(6, |p| {
+            let v = if p.world_rank() == 4 { Some(vec![1u32, 2, 3]) } else { None };
+            p.bcast(WORLD, 4, v.as_ref())
+        });
+        assert!(report.all_ok());
+        for o in &report.outcomes {
+            assert_eq!(o.as_ok(), Some(&vec![1u32, 2, 3]));
+        }
+    }
+
+    #[test]
+    fn bcast_with_dead_rank_errors_not_hangs() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(1, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            8,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                let v = if p.world_rank() == 0 { Some(7i32) } else { None };
+                match p.bcast(WORLD, 0, v.as_ref()) {
+                    Ok(x) => Ok(Some(x)),
+                    Err(Error::RankFailStop { .. }) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        assert!(report.outcomes[1].is_failed());
+        // Anyone who got a value got the right one.
+        for (r, v) in report.ok_values() {
+            if let Some(x) = v {
+                assert_eq!(*x, 7, "rank {r} got corrupted data");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_to_dead_root_errors() {
+        let plan = faultsim::FaultPlan::none().kill_at(2, faultsim::HookKind::Tick, 1);
+        let report = run(
+            3,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                if p.world_rank() == 2 {
+                    let req = p.irecv(WORLD, Src::Rank(0), 9)?;
+                    let _ = p.wait(req)?;
+                    return Ok(());
+                }
+                while p.comm_validate_rank(WORLD, 2)?.state == crate::rank::RankState::Ok {
+                    std::thread::yield_now();
+                }
+                match p.bcast::<i32>(WORLD, 2, None) {
+                    Err(Error::RankFailStop { .. }) => Ok(()),
+                    other => panic!("expected error bcasting from dead root, got {other:?}"),
+                }
+            },
+        );
+        assert!(!report.hung);
+        assert!(report.outcomes[0].is_ok());
+        assert!(report.outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn bcast_skips_validated_ranks() {
+        let plan = faultsim::FaultPlan::none().kill_at(0, faultsim::HookKind::Tick, 1);
+        let report = run(
+            5,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                if p.world_rank() == 0 {
+                    let req = p.irecv(WORLD, Src::Rank(1), 9)?;
+                    let _ = p.wait(req)?;
+                    return Ok(0);
+                }
+                while p.comm_validate_rank(WORLD, 0)?.state == crate::rank::RankState::Ok {
+                    std::thread::yield_now();
+                }
+                p.comm_validate_all(WORLD)?;
+                let v = if p.world_rank() == 1 { Some(99i32) } else { None };
+                p.bcast(WORLD, 1, v.as_ref())
+            },
+        );
+        assert!(!report.hung);
+        for r in 1..5 {
+            assert_eq!(report.outcomes[r].as_ok(), Some(&99), "rank {r}");
+        }
+    }
+}

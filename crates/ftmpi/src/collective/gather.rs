@@ -1,0 +1,234 @@
+//! Linear gather and scatter.
+//!
+//! Linear algorithms are hang-safe by construction here: leaf
+//! participants only *send* (eager, never blocks), so the root is the
+//! only rank that waits, and everything it waits on is covered by the
+//! failure detector. No poison is needed.
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::{Error, Result};
+use crate::process::Process;
+use crate::rank::CommRank;
+
+use super::{OP_GATHER, OP_SCATTER};
+
+impl Process {
+    /// `MPI_Gather`: every active participant contributes `value`; the
+    /// root receives `(comm_rank, value)` pairs in active-rank order.
+    /// Returns `Some(pairs)` at the root, `None` elsewhere.
+    pub fn gather<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        root: CommRank,
+        value: &T,
+    ) -> Result<Option<Vec<(CommRank, T)>>> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_GATHER, "gather")?;
+        if let Some(e) = entry_err {
+            // The root waits on every leaf in turn; an abandoning leaf
+            // must poison it, or the root would block forever on an
+            // alive rank that will never send (the dead rank that
+            // triggered this entry error may be *behind* the leaf in
+            // the root's receive order).
+            if let Ok(vroot) = self.coll_vroot(&cctx, root) {
+                if cctx.vrank != vroot {
+                    self.coll_poisoned(&cctx);
+                    self.coll_poison(&cctx, vroot);
+                }
+            }
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        let vroot = self.coll_vroot(&cctx, root).map_err(|e| self.fail_op(Some(comm.0), e))?;
+        if cctx.vrank != vroot {
+            return match self.coll_send(&cctx, vroot, value.to_bytes()) {
+                Ok(()) => {
+                    self.coll_end()?;
+                    Ok(None)
+                }
+                Err(e) => Err(self.fail_op(Some(comm.0), e)),
+            };
+        }
+        let mut out = Vec::with_capacity(cctx.size());
+        for v in 0..cctx.size() {
+            if v == vroot {
+                let copy = T::from_bytes(&value.to_bytes())?;
+                out.push((cctx.rank_at(v), copy));
+                continue;
+            }
+            match self.coll_recv(&cctx, v) {
+                Ok(bytes) => out.push((cctx.rank_at(v), T::from_bytes(&bytes)?)),
+                Err(e) => return Err(self.fail_op(Some(comm.0), e)),
+            }
+        }
+        self.coll_end()?;
+        Ok(Some(out))
+    }
+
+    /// `MPI_Scatter`: the root supplies one value per active
+    /// participant (in active-rank order); each participant receives
+    /// its element.
+    #[allow(clippy::needless_range_loop)] // v doubles as the virtual rank
+    pub fn scatter<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        root: CommRank,
+        values: Option<&[T]>,
+    ) -> Result<T> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_SCATTER, "scatter")?;
+        if let Some(e) = entry_err {
+            // Non-roots wait only on the root; if we are the root we
+            // must poison everyone who would wait for a share.
+            let is_root = self.coll_vroot(&cctx, root).map(|vr| vr == cctx.vrank).unwrap_or(false);
+            if is_root {
+                self.coll_poisoned(&cctx);
+                for v in 0..cctx.size() {
+                    if v != cctx.vrank {
+                        self.coll_poison(&cctx, v);
+                    }
+                }
+            }
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        let vroot = self.coll_vroot(&cctx, root).map_err(|e| self.fail_op(Some(comm.0), e))?;
+        if cctx.vrank == vroot {
+            let values = match values {
+                Some(v) if v.len() == cctx.size() => v,
+                Some(_) => {
+                    return Err(self.fail_op(
+                        Some(comm.0),
+                        Error::InvalidState("scatter root must supply one value per active rank"),
+                    ))
+                }
+                None => {
+                    return Err(self.fail_op(
+                        Some(comm.0),
+                        Error::InvalidState("scatter root must supply values"),
+                    ))
+                }
+            };
+            let mut first_err = None;
+            for v in 0..cctx.size() {
+                if v == vroot {
+                    continue;
+                }
+                if let Err(e) = self.coll_send(&cctx, v, values[v].to_bytes()) {
+                    if e.is_terminal() {
+                        return Err(e);
+                    }
+                    // A dead child: keep serving the others.
+                    first_err.get_or_insert(e);
+                }
+            }
+            let mine = T::from_bytes(&values[vroot].to_bytes())?;
+            match first_err {
+                None => {
+                    self.coll_end()?;
+                    Ok(mine)
+                }
+                Some(e) => Err(self.fail_op(Some(comm.0), e)),
+            }
+        } else {
+            match self.coll_recv(&cctx, vroot) {
+                Ok(bytes) => {
+                    self.coll_end()?;
+                    T::from_bytes(&bytes).map_err(|e| self.fail_op(Some(comm.0), e))
+                }
+                Err(e) => Err(self.fail_op(Some(comm.0), e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::WORLD;
+    use crate::error::{Error, ErrorHandler};
+    use crate::universe::{run, run_default, UniverseConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let report = run_default(5, |p| {
+            let mine = (p.world_rank() * 10) as u32;
+            p.gather(WORLD, 2, &mine)
+        });
+        assert!(report.all_ok());
+        let at_root = report.outcomes[2].as_ok().unwrap().as_ref().unwrap();
+        assert_eq!(
+            at_root,
+            &vec![(0usize, 0u32), (1, 10), (2, 20), (3, 30), (4, 40)]
+        );
+        for r in [0usize, 1, 3, 4] {
+            assert_eq!(report.outcomes[r].as_ok(), Some(&None));
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_in_rank_order() {
+        let report = run_default(4, |p| {
+            let values: Option<Vec<i64>> =
+                (p.world_rank() == 0).then(|| vec![100, 101, 102, 103]);
+            p.scatter(WORLD, 0, values.as_deref())
+        });
+        assert!(report.all_ok());
+        for (r, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.as_ok(), Some(&(100 + r as i64)));
+        }
+    }
+
+    #[test]
+    fn scatter_wrong_count_is_invalid_state() {
+        let report = run_default(1, |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            match p.scatter::<i64>(WORLD, 0, Some(&[1, 2])) {
+                Err(Error::InvalidState(_)) => Ok(()),
+                other => panic!("expected InvalidState, got {other:?}"),
+            }
+        });
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn gather_with_dead_leaf_errors_at_root_not_hangs() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(1, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            4,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                match p.gather(WORLD, 0, &1u8) {
+                    Ok(_) => Ok(true),
+                    Err(Error::RankFailStop { .. }) => Ok(false),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        assert_eq!(report.outcomes[0].as_ok(), Some(&false), "root must observe the failure");
+    }
+
+    #[test]
+    fn scatter_from_dead_root_errors_not_hangs() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(0, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            3,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                let values: Option<Vec<i64>> = (p.world_rank() == 0).then(|| vec![1, 2, 3]);
+                match p.scatter(WORLD, 0, values.as_deref()) {
+                    Ok(_) => Ok(true),
+                    Err(Error::RankFailStop { .. }) => Ok(false),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        assert!(report.outcomes[0].is_failed());
+        for r in 1..3 {
+            assert_eq!(report.outcomes[r].as_ok(), Some(&false), "rank {r}");
+        }
+    }
+}

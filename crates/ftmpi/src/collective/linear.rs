@@ -1,0 +1,241 @@
+//! Linear (flat) collective algorithm variants.
+//!
+//! Ablation counterparts to the binomial-tree broadcast and reduce:
+//! O(n) sends at the root instead of O(log n) rounds. On a real
+//! network the tree wins beyond a handful of ranks; the bench suite
+//! verifies the crossover shape on this runtime too. Failure semantics
+//! match the tree versions (error-not-hang, poison on abandonment) —
+//! and the *hang-safety* argument is simpler: leaves only talk to the
+//! root, which the failure detector covers directly.
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::{Error, Result};
+use crate::process::Process;
+use crate::rank::CommRank;
+
+use super::{OP_BCAST, OP_REDUCE};
+
+impl Process {
+    /// Linear `MPI_Bcast`: the root sends to every active participant
+    /// directly. Same interface and failure semantics as
+    /// [`Process::bcast`].
+    pub fn bcast_linear<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        root: CommRank,
+        value: Option<&T>,
+    ) -> Result<T> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_BCAST, "bcast_linear")?;
+        let vroot = match self.coll_vroot(&cctx, root) {
+            Ok(vr) => vr,
+            Err(e) => {
+                let chosen = entry_err.unwrap_or(e);
+                return Err(self.fail_op(Some(comm.0), chosen));
+            }
+        };
+        if let Some(e) = entry_err {
+            // Only the root has dependents (everyone waits on it).
+            if cctx.vrank == vroot {
+                self.coll_poisoned(&cctx);
+                for v in 0..cctx.size() {
+                    if v != vroot {
+                        self.coll_poison(&cctx, v);
+                    }
+                }
+            }
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        if cctx.vrank == vroot {
+            let value = match value {
+                Some(v) => v.to_bytes(),
+                None => {
+                    return Err(self.fail_op(
+                        Some(comm.0),
+                        Error::InvalidState("bcast root must supply a value"),
+                    ))
+                }
+            };
+            let mut first_err = None;
+            for v in 0..cctx.size() {
+                if v == vroot {
+                    continue;
+                }
+                if let Err(e) = self.coll_send(&cctx, v, value.clone()) {
+                    if e.is_terminal() {
+                        return Err(e);
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+            match first_err {
+                None => {
+                    self.coll_end()?;
+                    T::from_bytes(&value).map_err(|e| self.fail_op(Some(comm.0), e))
+                }
+                Some(e) => Err(self.fail_op(Some(comm.0), e)),
+            }
+        } else {
+            match self.coll_recv(&cctx, vroot) {
+                Ok(bytes) => {
+                    self.coll_end()?;
+                    T::from_bytes(&bytes).map_err(|e| self.fail_op(Some(comm.0), e))
+                }
+                Err(e) => Err(self.fail_op(Some(comm.0), e)),
+            }
+        }
+    }
+
+    /// Linear `MPI_Reduce`: every participant sends its value to the
+    /// root, which folds them in active-rank order. Same interface and
+    /// failure semantics as [`Process::reduce`].
+    pub fn reduce_linear<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        root: CommRank,
+        value: &T,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<Option<T>> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_REDUCE, "reduce_linear")?;
+        if let Some(e) = entry_err {
+            // The root waits on every leaf in turn: an abandoning leaf
+            // must poison it, or the root (which may have entered
+            // before the failure became visible) blocks forever on an
+            // alive rank that will never send.
+            if let Ok(vroot) = self.coll_vroot(&cctx, root) {
+                if cctx.vrank != vroot {
+                    self.coll_poisoned(&cctx);
+                    self.coll_poison(&cctx, vroot);
+                }
+            }
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        let vroot = self.coll_vroot(&cctx, root).map_err(|e| self.fail_op(Some(comm.0), e))?;
+        if cctx.vrank != vroot {
+            return match self.coll_send(&cctx, vroot, value.to_bytes()) {
+                Ok(()) => {
+                    self.coll_end()?;
+                    Ok(None)
+                }
+                Err(e) => Err(self.fail_op(Some(comm.0), e)),
+            };
+        }
+        let mut acc = T::from_bytes(&value.to_bytes())?;
+        for v in 0..cctx.size() {
+            if v == vroot {
+                continue;
+            }
+            match self.coll_recv(&cctx, v) {
+                Ok(bytes) => {
+                    let part = T::from_bytes(&bytes)?;
+                    acc = op(acc, part);
+                }
+                Err(e) => return Err(self.fail_op(Some(comm.0), e)),
+            }
+        }
+        self.coll_end()?;
+        Ok(Some(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::WORLD;
+    use crate::error::{Error, ErrorHandler};
+    use crate::universe::{run, run_default, UniverseConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn linear_bcast_matches_tree_bcast() {
+        for n in [1usize, 2, 5, 9] {
+            let report = run_default(n, move |p| {
+                let v = (p.world_rank() == 0).then_some(4242i64);
+                let linear = p.bcast_linear(WORLD, 0, v.as_ref())?;
+                let v = (p.world_rank() == 0).then_some(4242i64);
+                let tree = p.bcast(WORLD, 0, v.as_ref())?;
+                assert_eq!(linear, tree);
+                Ok(linear)
+            });
+            assert!(report.all_ok(), "n={n}");
+            for o in &report.outcomes {
+                assert_eq!(o.as_ok(), Some(&4242));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_reduce_matches_tree_reduce() {
+        let report = run_default(6, |p| {
+            let mine = (p.world_rank() + 1) as i64;
+            let linear = p.reduce_linear(WORLD, 2, &mine, |a, b| a + b)?;
+            let tree = p.reduce(WORLD, 2, &mine, |a, b| a + b)?;
+            assert_eq!(linear, tree);
+            Ok(linear)
+        });
+        assert!(report.all_ok());
+        assert_eq!(report.outcomes[2].as_ok(), Some(&Some(21)));
+    }
+
+    #[test]
+    fn linear_bcast_with_dead_rank_errors_not_hangs() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(1, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            4,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                let v = (p.world_rank() == 0).then_some(1i32);
+                match p.bcast_linear(WORLD, 0, v.as_ref()) {
+                    Ok(x) => Ok(Some(x)),
+                    Err(Error::RankFailStop { .. }) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        assert!(report.outcomes[1].is_failed());
+    }
+
+    #[test]
+    fn linear_reduce_with_dead_contributor_errors_at_root() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(3, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            5,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                match p.reduce_linear(WORLD, 0, &1i64, |a, b| a + b) {
+                    Ok(v) => Ok(v),
+                    Err(Error::RankFailStop { .. }) => Ok(Some(-1)),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        assert_eq!(report.outcomes[0].as_ok(), Some(&Some(-1)));
+    }
+
+    #[test]
+    fn tree_and_linear_interleave_on_one_comm() {
+        // Instance counters must stay aligned when mixing algorithms.
+        let report = run_default(4, |p| {
+            let mut acc = 0i64;
+            for i in 0..3i64 {
+                let v = (p.world_rank() == 0).then_some(i);
+                acc += p.bcast(WORLD, 0, v.as_ref())?;
+                let v = (p.world_rank() == 0).then_some(i * 10);
+                acc += p.bcast_linear(WORLD, 0, v.as_ref())?;
+                acc += p.reduce_linear(WORLD, 0, &1i64, |a, b| a + b)?.unwrap_or(0);
+            }
+            Ok(acc)
+        });
+        assert!(report.all_ok());
+        // bcasts: (0+0)+(1+10)+(2+20) = 33; reduce adds 4 at root only.
+        assert_eq!(report.outcomes[0].as_ok(), Some(&(33 + 12)));
+        for r in 1..4 {
+            assert_eq!(report.outcomes[r].as_ok(), Some(&33));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Binomial-tree reduction and allreduce.
+
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::Result;
+use crate::process::Process;
+use crate::rank::CommRank;
+
+use super::{binomial_parent, CollCtx, OP_BCAST, OP_REDUCE};
+
+impl Process {
+    /// `MPI_Reduce`: combine every active participant's value with `op`
+    /// (assumed associative and commutative), delivering the result at
+    /// `root`. Returns `Some(result)` at the root, `None` elsewhere.
+    ///
+    /// Unlike broadcast, a failure anywhere forces an error up the
+    /// whole tree: a partial reduction that silently dropped a
+    /// contribution would be *wrong*, not just late, so an erroring
+    /// rank poisons its parent rather than forwarding a partial.
+    pub fn reduce<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        root: CommRank,
+        value: &T,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<Option<T>> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_REDUCE, "reduce")?;
+        let vroot = match entry_err {
+            Some(e) => {
+                if let Ok(vroot) = self.coll_vroot(&cctx, root) {
+                    self.reduce_abandon(&cctx, vroot);
+                }
+                return Err(self.fail_op(Some(comm.0), e));
+            }
+            None => self.coll_vroot(&cctx, root).map_err(|e| self.fail_op(Some(comm.0), e))?,
+        };
+        match self.reduce_inner(&cctx, vroot, value, &op) {
+            Ok(out) => {
+                self.coll_end()?;
+                Ok(out)
+            }
+            Err(e) => Err(self.fail_op(Some(comm.0), e)),
+        }
+    }
+
+    fn reduce_inner<T: Datatype>(
+        &mut self,
+        cctx: &CollCtx,
+        vroot: usize,
+        value: &T,
+        op: &impl Fn(T, T) -> T,
+    ) -> Result<Option<T>> {
+        let m = cctx.size();
+        let u = (cctx.vrank + m - vroot) % m;
+        let abs = |rel: usize| (rel + vroot) % m;
+        let mut acc = T::from_bytes(&value.to_bytes())?; // owned copy via the wire format
+
+        let mut mask = 1usize;
+        while mask < m {
+            if u & mask == 0 {
+                let child = u + mask;
+                if child < m {
+                    match self.coll_recv(cctx, abs(child)) {
+                        Ok(bytes) => {
+                            let partial = T::from_bytes(&bytes)?;
+                            acc = op(acc, partial);
+                        }
+                        Err(e) => {
+                            if !e.is_terminal() {
+                                self.reduce_abandon_from(cctx, vroot, u, mask);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                mask <<= 1;
+            } else {
+                let parent = u - mask;
+                // On a dead parent the subtree result is lost, which
+                // the root observes as its own receive error.
+                self.coll_send(cctx, abs(parent), acc.to_bytes())?;
+                return Ok(None);
+            }
+        }
+        Ok(Some(acc))
+    }
+
+    /// Poison the parent (the only rank waiting on us) when abandoning.
+    fn reduce_abandon(&mut self, cctx: &CollCtx, vroot: usize) {
+        let m = cctx.size();
+        let u = (cctx.vrank + m - vroot) % m;
+        self.reduce_abandon_from(cctx, vroot, u, usize::MAX);
+    }
+
+    fn reduce_abandon_from(&mut self, cctx: &CollCtx, vroot: usize, u: usize, _mask: usize) {
+        let m = cctx.size();
+        self.coll_poisoned(cctx);
+        if let Some((parent, _)) = binomial_parent(u, m) {
+            self.coll_poison(cctx, (parent + vroot) % m);
+        }
+    }
+
+    /// `MPI_Allreduce`: reduce to the lowest active rank, then
+    /// broadcast the result. Every active participant receives the
+    /// combined value on success.
+    ///
+    /// Composition invariant: the broadcast phase's collective
+    /// instance is entered **even when the reduce phase failed** —
+    /// otherwise ranks whose reduce errored would fall one instance
+    /// behind ranks whose reduce succeeded, and every later collective
+    /// on the communicator would cross-match tags (a permanent,
+    /// unrecoverable desynchronization). A rank entering phase 2 only
+    /// to abandon it poisons its broadcast children first.
+    pub fn allreduce<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        value: &T,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<T> {
+        // Phase 1: reduce to the lowest active rank.
+        let root = {
+            let c = self.comm_data(comm)?;
+            *c.collective_active().first().expect("at least self is active")
+        };
+        let reduced = match self.reduce(comm, root, value, &op) {
+            Ok(v) => Ok(v),
+            Err(e) if e.is_terminal() => return Err(e),
+            Err(e) => Err(e),
+        };
+
+        // Phase 2: always enter (instance alignment, see above).
+        let (cctx, entry_err) = self.coll_begin(comm, OP_BCAST, "allreduce.bcast")?;
+        let vroot = self.coll_vroot(&cctx, root);
+        let abort_phase2 = match (&reduced, entry_err) {
+            (Err(e), _) => Some(e.clone()),
+            (Ok(_), Some(e)) => Some(e),
+            (Ok(_), None) => None,
+        };
+        if let Some(e) = abort_phase2 {
+            // Our broadcast children would wait on us forever: poison
+            // them before leaving with the error.
+            if let Ok(vr) = vroot {
+                self.bcast_abandon(&cctx, vr);
+            }
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        let vroot = match vroot {
+            Ok(vr) => vr,
+            Err(e) => return Err(self.fail_op(Some(comm.0), e)),
+        };
+        let payload = reduced.expect("checked above").map(|v| v.to_bytes());
+        match self.bcast_inner(&cctx, vroot, payload) {
+            Ok(bytes) => {
+                self.coll_end()?;
+                T::from_bytes(&bytes).map_err(|e| self.fail_op(Some(comm.0), e))
+            }
+            Err(e) => Err(self.fail_op(Some(comm.0), e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::WORLD;
+    use crate::error::{Error, ErrorHandler};
+    use crate::process::Src;
+    use crate::universe::{run, run_default, UniverseConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn reduce_sums_at_root() {
+        for n in [1usize, 2, 4, 7, 9] {
+            let report = run_default(n, move |p| {
+                let mine = (p.world_rank() + 1) as i64;
+                p.reduce(WORLD, 0, &mine, |a, b| a + b)
+            });
+            assert!(report.all_ok(), "n={n}");
+            let expected: i64 = (1..=n as i64).sum();
+            assert_eq!(report.outcomes[0].as_ok(), Some(&Some(expected)));
+            for r in 1..n {
+                assert_eq!(report.outcomes[r].as_ok(), Some(&None));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_to_nonzero_root() {
+        let report = run_default(5, |p| {
+            let mine = p.world_rank() as u64;
+            p.reduce(WORLD, 3, &mine, |a, b| a.max(b))
+        });
+        assert!(report.all_ok());
+        assert_eq!(report.outcomes[3].as_ok(), Some(&Some(4)));
+    }
+
+    #[test]
+    fn allreduce_everyone_gets_the_sum() {
+        for n in [1usize, 3, 6, 8] {
+            let report = run_default(n, move |p| {
+                let mine = 1u64 << p.world_rank();
+                p.allreduce(WORLD, &mine, |a, b| a | b)
+            });
+            assert!(report.all_ok(), "n={n}");
+            let expected = (1u64 << n) - 1;
+            for o in &report.outcomes {
+                assert_eq!(o.as_ok(), Some(&expected));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_with_dead_contributor_errors_at_root() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(3, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            6,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                let mine = 1i64;
+                match p.reduce(WORLD, 0, &mine, |a, b| a + b) {
+                    Ok(v) => Ok(v),
+                    Err(Error::RankFailStop { .. }) => Ok(Some(-1)),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        // The root must NOT report a silently-partial sum: it either
+        // errored (-1 marker) or... erroring is the only correct outcome
+        // because rank 3's contribution is unrecoverable.
+        assert_eq!(report.outcomes[0].as_ok(), Some(&Some(-1)), "root must observe the failure");
+    }
+
+    #[test]
+    fn allreduce_after_validate_excludes_failed() {
+        let plan = faultsim::FaultPlan::none().kill_at(2, faultsim::HookKind::Tick, 1);
+        let report = run(
+            5,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                if p.world_rank() == 2 {
+                    let req = p.irecv(WORLD, Src::Rank(0), 9)?;
+                    let _ = p.wait(req)?;
+                    return Ok(0);
+                }
+                while p.comm_validate_rank(WORLD, 2)?.state == crate::rank::RankState::Ok {
+                    std::thread::yield_now();
+                }
+                p.comm_validate_all(WORLD)?;
+                p.allreduce(WORLD, &1u64, |a, b| a + b)
+            },
+        );
+        assert!(!report.hung);
+        for r in [0usize, 1, 3, 4] {
+            assert_eq!(report.outcomes[r].as_ok(), Some(&4), "rank {r}: survivors' sum");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Inclusive prefix scan (linear chain).
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::error::Result;
+use crate::process::Process;
+
+use super::{CollCtx, OP_SCAN};
+
+impl Process {
+    /// `MPI_Scan`: inclusive prefix combination over active-rank order.
+    /// The participant at active index `i` receives
+    /// `op(v_0, op(v_1, … v_i))`.
+    ///
+    /// Linear chain: receive the prefix from the previous active rank,
+    /// fold in our value, forward downstream. A failure upstream
+    /// poisons the rest of the chain.
+    pub fn scan<T: Datatype>(
+        &mut self,
+        comm: Comm,
+        value: &T,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<T> {
+        let (cctx, entry_err) = self.coll_begin(comm, OP_SCAN, "scan")?;
+        if let Some(e) = entry_err {
+            self.scan_abandon(&cctx);
+            return Err(self.fail_op(Some(comm.0), e));
+        }
+        match self.scan_inner(&cctx, value, &op) {
+            Ok(v) => {
+                self.coll_end()?;
+                Ok(v)
+            }
+            Err(e) => {
+                if !e.is_terminal() {
+                    self.scan_abandon(&cctx);
+                }
+                Err(self.fail_op(Some(comm.0), e))
+            }
+        }
+    }
+
+    fn scan_inner<T: Datatype>(
+        &mut self,
+        cctx: &CollCtx,
+        value: &T,
+        op: &impl Fn(T, T) -> T,
+    ) -> Result<T> {
+        let v = cctx.vrank;
+        let mine = T::from_bytes(&value.to_bytes())?;
+        let acc = if v == 0 {
+            mine
+        } else {
+            let prefix_bytes = self.coll_recv(cctx, v - 1)?;
+            let prefix = T::from_bytes(&prefix_bytes)?;
+            op(prefix, mine)
+        };
+        if v + 1 < cctx.size() {
+            self.coll_send(cctx, v + 1, acc.to_bytes())?;
+        }
+        Ok(acc)
+    }
+
+    /// Poison the next rank in the chain (the only one waiting on us).
+    fn scan_abandon(&mut self, cctx: &CollCtx) {
+        self.coll_poisoned(cctx);
+        if cctx.vrank + 1 < cctx.size() {
+            self.coll_poison(cctx, cctx.vrank + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::WORLD;
+    use crate::error::{Error, ErrorHandler};
+    use crate::universe::{run, run_default, UniverseConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn scan_computes_inclusive_prefixes() {
+        let n = 6;
+        let report = run_default(n, |p| {
+            let mine = (p.world_rank() + 1) as i64;
+            p.scan(WORLD, &mine, |a, b| a + b)
+        });
+        assert!(report.all_ok());
+        for (r, o) in report.outcomes.iter().enumerate() {
+            let expected: i64 = (1..=(r as i64 + 1)).sum();
+            assert_eq!(o.as_ok(), Some(&expected), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn scan_of_one() {
+        let report = run_default(1, |p| p.scan(WORLD, &41i32, |a, b| a + b));
+        assert_eq!(report.outcomes[0].as_ok(), Some(&41));
+    }
+
+    #[test]
+    fn scan_with_dead_middle_errors_downstream_not_hangs() {
+        let plan = faultsim::FaultPlan::none()
+            .kill_at(2, faultsim::HookKind::BeforeCollective, 1);
+        let report = run(
+            5,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(20)),
+            |p| {
+                p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+                match p.scan(WORLD, &1i64, |a, b| a + b) {
+                    Ok(v) => Ok(Some(v)),
+                    Err(Error::RankFailStop { .. }) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(!report.hung);
+        // Ranks upstream of the failure may succeed with correct
+        // prefixes; everyone downstream must error.
+        if let Some(Some(v)) = report.outcomes[0].as_ok() {
+            assert_eq!(*v, 1);
+        }
+        if let Some(Some(v)) = report.outcomes[1].as_ok() {
+            assert_eq!(*v, 2);
+        }
+        for r in 3..5 {
+            assert_eq!(
+                report.outcomes[r].as_ok(),
+                Some(&None),
+                "rank {r} is downstream of the failure"
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared coordination board for communicator construction.
+//!
+//! `comm_dup` and `comm_split` are collective operations that must hand
+//! every member the *same* new context id (and, for split, the same
+//! membership). Like the validate board, this runtime coordinates them
+//! through shared memory: members rendezvous on a key derived from the
+//! parent context and a per-process operation counter (all members call
+//! communicator constructors in the same order, as MPI requires).
+//!
+//! Failure semantics of `comm_split` follow the shrink-friendly rule:
+//! once every *alive* parent member has submitted, the split completes
+//! and failed members that never submitted are simply excluded. This is
+//! what makes `comm_split` usable as a recovery construct (ULFM's later
+//! `MPI_Comm_shrink` has the same flavour).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::detector::FailureRegistry;
+use crate::group::Group;
+use crate::message::ContextId;
+use crate::rank::WorldRank;
+
+/// Result of a completed split for one color.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitResult {
+    /// New context id for this color's communicator.
+    pub ctx: ContextId,
+    /// Members (world ranks) ordered by (key, world rank).
+    pub members: Vec<WorldRank>,
+}
+
+#[derive(Default)]
+struct SplitEntry {
+    /// world rank -> (color, key); `None` color means the member opted
+    /// out (`MPI_UNDEFINED`).
+    submissions: HashMap<WorldRank, (Option<i64>, i64)>,
+    /// Assigned results per color, filled at completion.
+    results: HashMap<i64, SplitResult>,
+    complete: bool,
+}
+
+/// Shared communicator-construction board.
+pub(crate) struct CommBoard {
+    next_ctx: AtomicU64,
+    dups: Mutex<HashMap<(ContextId, u64), ContextId>>,
+    splits: Mutex<HashMap<(ContextId, u64), SplitEntry>>,
+}
+
+impl CommBoard {
+    /// A board whose first allocated context follows the world context.
+    pub(crate) fn new(first_free_ctx: ContextId) -> Self {
+        CommBoard {
+            next_ctx: AtomicU64::new(first_free_ctx),
+            dups: Mutex::new(HashMap::new()),
+            splits: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Rendezvous for the `n`-th dup of `parent`: the first caller
+    /// allocates the context, later callers read it.
+    pub(crate) fn dup(&self, parent: ContextId, n: u64) -> ContextId {
+        let mut dups = self.dups.lock();
+        *dups.entry((parent, n)).or_insert_with(|| self.next_ctx.fetch_add(1, Ordering::AcqRel))
+    }
+
+    /// Submit this member's (color, key) for the `n`-th split of
+    /// `parent`. `color = None` opts out.
+    pub(crate) fn split_submit(
+        &self,
+        parent: ContextId,
+        n: u64,
+        me: WorldRank,
+        color: Option<i64>,
+        key: i64,
+    ) {
+        let mut splits = self.splits.lock();
+        let entry = splits.entry((parent, n)).or_default();
+        entry.submissions.entry(me).or_insert((color, key));
+    }
+
+    /// Poll the `n`-th split of `parent`: completes once every alive
+    /// member of `parent_group` has submitted. Returns this member's
+    /// result (or `None` color => `Ok(None)`).
+    ///
+    /// Returns `None` while the rendezvous is still incomplete.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn split_poll(
+        &self,
+        parent: ContextId,
+        n: u64,
+        me: WorldRank,
+        parent_group: &Group,
+        registry: &FailureRegistry,
+    ) -> Option<(Option<SplitResult>, bool)> {
+        let mut splits = self.splits.lock();
+        let entry = splits.entry((parent, n)).or_default();
+        let mut newly = false;
+        if !entry.complete {
+            let all_in = parent_group
+                .members()
+                .iter()
+                .all(|&w| entry.submissions.contains_key(&w) || registry.is_failed(w));
+            if !all_in {
+                return None;
+            }
+            // Complete: group submitters by color, order by (key, world).
+            let mut by_color: HashMap<i64, Vec<(i64, WorldRank)>> = HashMap::new();
+            for (&w, &(color, key)) in &entry.submissions {
+                if let Some(c) = color {
+                    by_color.entry(c).or_default().push((key, w));
+                }
+            }
+            let mut colors: Vec<i64> = by_color.keys().copied().collect();
+            colors.sort_unstable();
+            for c in colors {
+                let mut ms = by_color.remove(&c).expect("color present");
+                ms.sort_unstable();
+                let members: Vec<WorldRank> = ms.into_iter().map(|(_, w)| w).collect();
+                let ctx = self.next_ctx.fetch_add(1, Ordering::AcqRel);
+                entry.results.insert(c, SplitResult { ctx, members });
+            }
+            entry.complete = true;
+            newly = true;
+        }
+        let my_color = entry.submissions.get(&me).copied()?.0;
+        let result = my_color.and_then(|c| entry.results.get(&c).cloned());
+        Some((result, newly))
+    }
+}
+
+impl std::fmt::Debug for CommBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommBoard").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dup_hands_every_member_the_same_ctx() {
+        let b = CommBoard::new(1);
+        let a = b.dup(0, 0);
+        let c = b.dup(0, 0);
+        assert_eq!(a, c);
+        let d = b.dup(0, 1);
+        assert_ne!(a, d, "successive dups get fresh contexts");
+    }
+
+    #[test]
+    fn split_waits_for_all_alive() {
+        let b = CommBoard::new(1);
+        let g = Group::world(3);
+        let reg = FailureRegistry::new(3);
+        b.split_submit(0, 0, 0, Some(0), 0);
+        assert!(b.split_poll(0, 0, 0, &g, &reg).is_none());
+        b.split_submit(0, 0, 1, Some(1), 0);
+        b.split_submit(0, 0, 2, Some(0), -1);
+        let (res, newly) = b.split_poll(0, 0, 0, &g, &reg).unwrap();
+        assert!(newly);
+        // Color 0 members ordered by key: rank 2 (key -1) before rank 0.
+        assert_eq!(res.unwrap().members, vec![2, 0]);
+        let (res1, newly1) = b.split_poll(0, 0, 1, &g, &reg).unwrap();
+        assert!(!newly1);
+        assert_eq!(res1.unwrap().members, vec![1]);
+    }
+
+    #[test]
+    fn split_excludes_failed_non_submitters() {
+        let b = CommBoard::new(1);
+        let g = Group::world(3);
+        let reg = FailureRegistry::new(3);
+        b.split_submit(0, 0, 0, Some(7), 0);
+        b.split_submit(0, 0, 1, Some(7), 1);
+        assert!(b.split_poll(0, 0, 0, &g, &reg).is_none());
+        reg.kill(2);
+        let (res, _) = b.split_poll(0, 0, 0, &g, &reg).unwrap();
+        assert_eq!(res.unwrap().members, vec![0, 1]);
+    }
+
+    #[test]
+    fn split_opt_out_gets_none() {
+        let b = CommBoard::new(1);
+        let g = Group::world(2);
+        let reg = FailureRegistry::new(2);
+        b.split_submit(0, 0, 0, None, 0);
+        b.split_submit(0, 0, 1, Some(3), 0);
+        let (res0, _) = b.split_poll(0, 0, 0, &g, &reg).unwrap();
+        assert!(res0.is_none());
+        let (res1, _) = b.split_poll(0, 0, 1, &g, &reg).unwrap();
+        assert_eq!(res1.unwrap().members, vec![1]);
+    }
+
+    #[test]
+    fn same_color_ties_break_by_world_rank() {
+        let b = CommBoard::new(1);
+        let g = Group::world(3);
+        let reg = FailureRegistry::new(3);
+        for w in 0..3 {
+            b.split_submit(0, 0, w, Some(0), 5);
+        }
+        let (res, _) = b.split_poll(0, 0, 1, &g, &reg).unwrap();
+        assert_eq!(res.unwrap().members, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Typed payload encoding.
+//!
+//! MPI sends typed buffers; this runtime sends bytes. The [`Datatype`]
+//! trait provides fixed-layout little-endian encode/decode for the
+//! types the paper's programs use (integers, floats, and small structs
+//! like `ring_msg_t {value, marker}` built from tuples/arrays), so
+//! application code stays as close to the paper's pseudocode as
+//! possible without a serde dependency in the hot path.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::{Error, Result};
+
+/// A value that can cross the simulated wire.
+pub trait Datatype: Sized {
+    /// Exact encoded size in bytes, if fixed.
+    const SIZE: Option<usize>;
+
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decode a value from the front of `bytes`, returning the rest.
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8])>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::SIZE.unwrap_or(16));
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decode, requiring the entire input to be consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let (v, rest) = Self::decode(bytes)?;
+        if rest.is_empty() {
+            Ok(v)
+        } else {
+            Err(Error::TypeMismatch)
+        }
+    }
+}
+
+macro_rules! impl_scalar {
+    ($($ty:ty),*) => {$(
+        impl Datatype for $ty {
+            const SIZE: Option<usize> = Some(std::mem::size_of::<$ty>());
+
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.put_slice(&self.to_le_bytes());
+            }
+
+            fn decode(bytes: &[u8]) -> Result<(Self, &[u8])> {
+                const N: usize = std::mem::size_of::<$ty>();
+                if bytes.len() < N {
+                    return Err(Error::TypeMismatch);
+                }
+                let (head, rest) = bytes.split_at(N);
+                let mut arr = [0u8; N];
+                arr.copy_from_slice(head);
+                Ok((<$ty>::from_le_bytes(arr), rest))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize, f32, f64);
+
+impl Datatype for bool {
+    const SIZE: Option<usize> = Some(1);
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8])> {
+        match bytes.split_first() {
+            Some((&0, rest)) => Ok((false, rest)),
+            Some((&1, rest)) => Ok((true, rest)),
+            _ => Err(Error::TypeMismatch),
+        }
+    }
+}
+
+impl Datatype for () {
+    const SIZE: Option<usize> = Some(0);
+
+    fn encode(&self, _buf: &mut BytesMut) {}
+
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8])> {
+        Ok(((), bytes))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Datatype),+> Datatype for ($($name,)+) {
+            const SIZE: Option<usize> = {
+                // Sum of element sizes, or None if any is dynamic.
+                let mut total = 0usize;
+                let mut fixed = true;
+                $(
+                    match $name::SIZE {
+                        Some(n) => total += n,
+                        None => fixed = false,
+                    }
+                )+
+                if fixed { Some(total) } else { None }
+            };
+
+            fn encode(&self, buf: &mut BytesMut) {
+                $( self.$idx.encode(buf); )+
+            }
+
+            #[allow(non_snake_case)] // type-parameter names double as bindings
+            fn decode(bytes: &[u8]) -> Result<(Self, &[u8])> {
+                let rest = bytes;
+                $( let ($name, rest) = $name::decode(rest)?; )+
+                Ok((($($name,)+), rest))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl<T: Datatype, const N: usize> Datatype for [T; N] {
+    const SIZE: Option<usize> = match T::SIZE {
+        Some(n) => Some(n * N),
+        None => None,
+    };
+
+    fn encode(&self, buf: &mut BytesMut) {
+        for v in self {
+            v.encode(buf);
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8])> {
+        let mut rest = bytes;
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            let (v, r) = T::decode(rest)?;
+            out.push(v);
+            rest = r;
+        }
+        match out.try_into() {
+            Ok(arr) => Ok((arr, rest)),
+            Err(_) => Err(Error::TypeMismatch),
+        }
+    }
+}
+
+impl<T: Datatype> Datatype for Vec<T> {
+    const SIZE: Option<usize> = None;
+
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u64).encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8])> {
+        let (n, mut rest) = u64::decode(bytes)?;
+        // Defensive cap: refuse lengths that exceed the remaining bytes
+        // even at one byte per element.
+        if n as usize > rest.len() && T::SIZE != Some(0) {
+            return Err(Error::TypeMismatch);
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (v, r) = T::decode(rest)?;
+            out.push(v);
+            rest = r;
+        }
+        Ok((out, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Datatype + PartialEq + std::fmt::Debug>(v: T) {
+        let b = v.to_bytes();
+        assert_eq!(T::from_bytes(&b).unwrap(), v);
+        if let Some(n) = T::SIZE {
+            assert_eq!(b.len(), n);
+        }
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(-5i32);
+        roundtrip(u64::MAX);
+        roundtrip(3.5f64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((1i32,));
+        roundtrip((1i32, 2u64));
+        roundtrip((1i32, 2u64, -3i8));
+        roundtrip((1i32, 2u64, -3i8, 4.25f32));
+    }
+
+    #[test]
+    fn arrays_and_vecs_roundtrip() {
+        roundtrip([1i32, 2, 3, 4]);
+        roundtrip(vec![9u64, 8, 7]);
+        roundtrip(Vec::<i32>::new());
+        roundtrip(vec![(1i32, 2i32), (3, 4)]);
+    }
+
+    #[test]
+    fn short_input_is_type_mismatch() {
+        assert_eq!(i64::from_bytes(&[1, 2, 3]), Err(Error::TypeMismatch));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut b = BytesMut::new();
+        7i32.encode(&mut b);
+        0u8.encode(&mut b);
+        assert_eq!(i32::from_bytes(&b), Err(Error::TypeMismatch));
+    }
+
+    #[test]
+    fn bogus_bool_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), Err(Error::TypeMismatch));
+    }
+
+    #[test]
+    fn vec_length_lies_rejected() {
+        // Claim 1000 elements but provide none.
+        let b = 1000u64.to_bytes();
+        assert!(Vec::<i32>::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn tuple_size_const_is_sum() {
+        assert_eq!(<(i32, u64)>::SIZE, Some(12));
+        assert_eq!(<(i32, Vec<u8>)>::SIZE, None);
+        assert_eq!(<[u16; 5]>::SIZE, Some(10));
+    }
+}

@@ -1,0 +1,111 @@
+//! Process groups: ordered sets of world ranks.
+
+use std::sync::Arc;
+
+use crate::rank::{CommRank, WorldRank};
+
+/// An ordered set of world ranks (an `MPI_Group`).
+///
+/// Immutable and cheaply clonable; communicators share their membership
+/// through a `Group`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    members: Arc<Vec<WorldRank>>,
+}
+
+impl Group {
+    /// A group over the given world ranks, in the given order.
+    ///
+    /// Panics if ranks repeat (groups are sets).
+    pub fn new(members: Vec<WorldRank>) -> Self {
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "group members must be distinct");
+        Group { members: Arc::new(members) }
+    }
+
+    /// The world group `0..n`.
+    pub fn world(n: usize) -> Self {
+        Group::new((0..n).collect())
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Membership slice, indexed by group (communicator) rank.
+    pub fn members(&self) -> &[WorldRank] {
+        &self.members
+    }
+
+    /// Translate a group rank to a world rank.
+    pub fn world_rank(&self, rank: CommRank) -> Option<WorldRank> {
+        self.members.get(rank).copied()
+    }
+
+    /// Translate a world rank to this group's rank.
+    pub fn rank_of(&self, world: WorldRank) -> Option<CommRank> {
+        self.members.iter().position(|&w| w == world)
+    }
+
+    /// Whether the world rank is a member.
+    pub fn contains(&self, world: WorldRank) -> bool {
+        self.rank_of(world).is_some()
+    }
+
+    /// A new group with only the members satisfying the predicate,
+    /// preserving order (`MPI_Group_incl` by predicate).
+    pub fn filter(&self, mut keep: impl FnMut(CommRank, WorldRank) -> bool) -> Group {
+        Group::new(
+            self.members
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(r, w)| keep(r, w))
+                .map(|(_, w)| w)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_group_is_identity() {
+        let g = Group::world(4);
+        assert_eq!(g.size(), 4);
+        for r in 0..4 {
+            assert_eq!(g.world_rank(r), Some(r));
+            assert_eq!(g.rank_of(r), Some(r));
+        }
+        assert_eq!(g.world_rank(4), None);
+        assert_eq!(g.rank_of(4), None);
+    }
+
+    #[test]
+    fn translation_respects_order() {
+        let g = Group::new(vec![5, 2, 9]);
+        assert_eq!(g.world_rank(0), Some(5));
+        assert_eq!(g.world_rank(2), Some(9));
+        assert_eq!(g.rank_of(2), Some(1));
+        assert!(g.contains(9));
+        assert!(!g.contains(3));
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let g = Group::new(vec![5, 2, 9, 0]);
+        let odd_positions = g.filter(|r, _| r % 2 == 1);
+        assert_eq!(odd_positions.members(), &[2, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_members_rejected() {
+        let _ = Group::new(vec![1, 1]);
+    }
+}

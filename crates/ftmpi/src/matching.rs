@@ -1,0 +1,321 @@
+//! MPI message matching: posted-receive queue + unexpected-message
+//! queue.
+//!
+//! Matching follows the MPI rules: a receive matches a message when the
+//! contexts are equal, the source selector accepts the sender's
+//! communicator rank, and the tag selector accepts the tag. Posted
+//! receives are considered in post order; unexpected messages in
+//! arrival order. Combined with the transport's per-pair FIFO this
+//! yields MPI's non-overtaking guarantee.
+//!
+//! Poisoned envelopes (collective-abandonment notifications, see the
+//! `collective` module) match like data but complete the receive with
+//! `RankFailStop`.
+
+use std::collections::VecDeque;
+
+use crate::error::Error;
+use crate::message::{ContextId, Envelope};
+use crate::rank::CommRank;
+use crate::request::{Completion, ReqTable, Request};
+use crate::status::Status;
+use crate::tag::TagSel;
+
+/// Source selector for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SrcSel {
+    /// Match this communicator rank only.
+    Exact(CommRank),
+    /// `MPI_ANY_SOURCE`.
+    Any,
+}
+
+impl SrcSel {
+    pub(crate) fn matches(self, src: CommRank) -> bool {
+        match self {
+            SrcSel::Exact(s) => s == src,
+            SrcSel::Any => true,
+        }
+    }
+}
+
+/// Full receive match specification.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MatchSpec {
+    pub context: ContextId,
+    pub src: SrcSel,
+    pub tag: TagSel,
+}
+
+impl MatchSpec {
+    pub(crate) fn matches(&self, env: &Envelope) -> bool {
+        self.context == env.context && self.src.matches(env.src_comm) && self.tag.matches(env.tag)
+    }
+}
+
+/// Turn a matched envelope into a receive completion.
+fn completion_for(env: Envelope) -> crate::error::Result<Completion> {
+    if env.poison {
+        Err(Error::RankFailStop { rank: env.src_comm })
+    } else {
+        Ok(Completion {
+            status: Status::new(env.src_comm, env.tag, env.payload.len()),
+            data: env.payload,
+        })
+    }
+}
+
+/// Per-process matching state.
+#[derive(Default)]
+pub(crate) struct MatchEngine {
+    /// Messages that arrived before a matching receive was posted, in
+    /// arrival order.
+    unexpected: VecDeque<Envelope>,
+    /// Pending receive requests in post order.
+    posted: Vec<Request>,
+}
+
+impl MatchEngine {
+    pub(crate) fn new() -> Self {
+        MatchEngine::default()
+    }
+
+    /// Number of unexpected messages currently queued.
+    #[allow(dead_code)]
+    pub(crate) fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Number of posted (pending) receives.
+    #[allow(dead_code)]
+    pub(crate) fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Try to satisfy a new receive from the unexpected queue. If a
+    /// message matches, it is removed and the completion returned;
+    /// otherwise the caller must insert a pending request and register
+    /// it via [`MatchEngine::register`].
+    pub(crate) fn take_unexpected(
+        &mut self,
+        spec: &MatchSpec,
+    ) -> Option<crate::error::Result<Completion>> {
+        let pos = self.unexpected.iter().position(|env| spec.matches(env))?;
+        let env = self.unexpected.remove(pos).expect("position valid");
+        Some(completion_for(env))
+    }
+
+    /// Register a pending receive in post order.
+    pub(crate) fn register(&mut self, req: Request) {
+        self.posted.push(req);
+    }
+
+    /// Remove a request from the posted list (cancel / completion by
+    /// the failure scan).
+    pub(crate) fn unregister(&mut self, req: Request) {
+        self.posted.retain(|r| *r != req);
+    }
+
+    /// Ingest one arriving envelope: complete the first matching posted
+    /// receive, else queue as unexpected. Returns the request that
+    /// completed, if any.
+    pub(crate) fn ingest(&mut self, table: &mut ReqTable, env: Envelope) -> Option<Request> {
+        for (i, req) in self.posted.iter().copied().enumerate() {
+            // The posted list may contain requests completed by the
+            // failure scan but not yet pruned; skip them.
+            if !table.is_pending(req) {
+                continue;
+            }
+            let matches = match table.body(req) {
+                Ok(crate::request::ReqBody::Recv(spec)) => spec.matches(&env),
+                _ => false,
+            };
+            if matches {
+                table.complete_if_pending(req, completion_for(env));
+                self.posted.remove(i);
+                return Some(req);
+            }
+        }
+        self.unexpected.push_back(env);
+        None
+    }
+
+    /// Prune posted entries that are no longer pending (completed by
+    /// the failure scan, cancelled, or consumed).
+    pub(crate) fn prune(&mut self, table: &ReqTable) {
+        self.posted.retain(|r| table.is_pending(*r));
+    }
+
+    /// Snapshot of the pending posted requests, in post order.
+    pub(crate) fn posted(&self) -> Vec<Request> {
+        self.posted.clone()
+    }
+
+    /// Drop queued unexpected *system* (negative-tag) messages for a
+    /// context whose collective instance is older than `min_instance`.
+    /// Called when `validate_all` completes so stale traffic (data or
+    /// poison) from aborted collective instances cannot accumulate.
+    ///
+    /// Messages from instances `>= min_instance` are kept: a faster
+    /// peer may already have started the *next* collective before this
+    /// rank consumed the validate decision, and purging its traffic
+    /// would wedge that collective.
+    pub(crate) fn purge_system(&mut self, context: ContextId, min_instance: u64) {
+        self.unexpected.retain(|env| {
+            !(env.context == context
+                && env.tag < 0
+                && crate::tag::system_tag_instance(env.tag) < min_instance)
+        });
+    }
+
+    /// Probe: peek the first unexpected message matching `spec`.
+    pub(crate) fn peek(&self, spec: &MatchSpec) -> Option<&Envelope> {
+        self.unexpected.iter().find(|env| spec.matches(env))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ReqBody, ReqState};
+    use bytes::Bytes;
+
+    fn env(src: CommRank, ctx: ContextId, tag: i32, payload: &'static [u8]) -> Envelope {
+        Envelope {
+            src_world: src,
+            src_comm: src,
+            context: ctx,
+            tag,
+            payload: Bytes::from_static(payload),
+            seq: 0,
+            poison: false,
+        }
+    }
+
+    fn spec(ctx: ContextId, src: SrcSel, tag: TagSel) -> MatchSpec {
+        MatchSpec { context: ctx, src, tag }
+    }
+
+    #[test]
+    fn unexpected_then_post_matches_in_arrival_order() {
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        eng.ingest(&mut table, env(1, 0, 5, b"first"));
+        eng.ingest(&mut table, env(1, 0, 5, b"second"));
+        assert_eq!(eng.unexpected_len(), 2);
+
+        let s = spec(0, SrcSel::Exact(1), TagSel::Exact(5));
+        let c = eng.take_unexpected(&s).unwrap().unwrap();
+        assert_eq!(&c.data[..], b"first");
+        let c = eng.take_unexpected(&s).unwrap().unwrap();
+        assert_eq!(&c.data[..], b"second");
+        assert!(eng.take_unexpected(&s).is_none());
+    }
+
+    #[test]
+    fn post_then_arrival_completes_in_post_order() {
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        let s = spec(0, SrcSel::Exact(2), TagSel::Exact(1));
+        let r1 = table.insert(ReqBody::Recv(s), ReqState::Pending);
+        eng.register(r1);
+        let r2 = table.insert(ReqBody::Recv(s), ReqState::Pending);
+        eng.register(r2);
+
+        let hit = eng.ingest(&mut table, env(2, 0, 1, b"a")).unwrap();
+        assert_eq!(hit, r1, "earliest posted receive matches first");
+        let hit = eng.ingest(&mut table, env(2, 0, 1, b"b")).unwrap();
+        assert_eq!(hit, r2);
+        assert_eq!(&table.take(r1).unwrap().unwrap().data[..], b"a");
+        assert_eq!(&table.take(r2).unwrap().unwrap().data[..], b"b");
+    }
+
+    #[test]
+    fn context_isolates_matching() {
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        let s = spec(7, SrcSel::Any, TagSel::Any);
+        let r = table.insert(ReqBody::Recv(s), ReqState::Pending);
+        eng.register(r);
+        assert!(eng.ingest(&mut table, env(0, 8, 0, b"x")).is_none());
+        assert_eq!(eng.unexpected_len(), 1);
+        assert!(eng.ingest(&mut table, env(0, 7, 0, b"y")).is_some());
+    }
+
+    #[test]
+    fn any_source_any_tag_matches_everything_in_context() {
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        let s = spec(0, SrcSel::Any, TagSel::Any);
+        let r = table.insert(ReqBody::Recv(s), ReqState::Pending);
+        eng.register(r);
+        assert_eq!(eng.ingest(&mut table, env(9, 0, 1234, b"z")), Some(r));
+        let c = table.take(r).unwrap().unwrap();
+        assert_eq!(c.status.source, Some(9));
+        assert_eq!(c.status.tag, 1234);
+    }
+
+    #[test]
+    fn poison_completes_with_rank_fail_stop() {
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        let s = spec(0, SrcSel::Exact(3), TagSel::Exact(0));
+        let r = table.insert(ReqBody::Recv(s), ReqState::Pending);
+        eng.register(r);
+        let mut e = env(3, 0, 0, b"");
+        e.poison = true;
+        eng.ingest(&mut table, e);
+        match table.take(r).unwrap() {
+            Err(Error::RankFailStop { rank }) => assert_eq!(rank, 3),
+            other => panic!("expected RankFailStop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn purge_system_drops_only_stale_negative_tags_in_context() {
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        let old_tag = crate::tag::system_tag(0, 0); // instance 0
+        let new_tag = crate::tag::system_tag(0, 5); // instance 5
+        eng.ingest(&mut table, env(0, 1, old_tag, b""));
+        eng.ingest(&mut table, env(0, 1, new_tag, b""));
+        eng.ingest(&mut table, env(0, 1, 3, b""));
+        eng.ingest(&mut table, env(0, 2, old_tag, b""));
+        eng.purge_system(1, 5);
+        assert_eq!(eng.unexpected_len(), 3);
+        // User message and current-instance system message survive;
+        // other contexts untouched.
+        assert!(eng.peek(&spec(1, SrcSel::Any, TagSel::Exact(3))).is_some());
+        assert!(eng.peek(&spec(1, SrcSel::Any, TagSel::Exact(new_tag))).is_some());
+        assert!(eng.peek(&spec(1, SrcSel::Any, TagSel::Exact(old_tag))).is_none());
+        assert!(eng.peek(&spec(2, SrcSel::Any, TagSel::Exact(old_tag))).is_some());
+    }
+
+    #[test]
+    fn non_overtaking_same_pair_same_tag() {
+        // Messages a,b sent in order from the same source with the same
+        // tag must be received in order even with interleaved posts.
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        eng.ingest(&mut table, env(1, 0, 0, b"a"));
+        let s = spec(0, SrcSel::Exact(1), TagSel::Exact(0));
+        let c = eng.take_unexpected(&s).unwrap().unwrap();
+        assert_eq!(&c.data[..], b"a");
+        let r = table.insert(ReqBody::Recv(s), ReqState::Pending);
+        eng.register(r);
+        eng.ingest(&mut table, env(1, 0, 0, b"b"));
+        assert_eq!(&table.take(r).unwrap().unwrap().data[..], b"b");
+    }
+
+    #[test]
+    fn prune_removes_non_pending() {
+        let mut eng = MatchEngine::new();
+        let mut table = ReqTable::new();
+        let s = spec(0, SrcSel::Any, TagSel::Any);
+        let r = table.insert(ReqBody::Recv(s), ReqState::Pending);
+        eng.register(r);
+        table.complete(r, Ok(Completion::send()));
+        eng.prune(&table);
+        assert_eq!(eng.posted_len(), 0);
+    }
+}

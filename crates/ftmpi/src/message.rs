@@ -1,0 +1,40 @@
+//! Wire-level message envelope.
+
+use bytes::Bytes;
+
+use crate::rank::{CommRank, WorldRank};
+use crate::tag::Tag;
+
+/// Identifies a communication context (one per communicator).
+///
+/// Matching never crosses contexts, which is what isolates library
+/// traffic on a duplicated communicator from application traffic — the
+/// property the proposal relies on for per-communicator failure
+/// notification.
+pub type ContextId = u64;
+
+/// One message as carried by the transport.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender's world rank (used by the failure machinery and tracing).
+    #[allow(dead_code)]
+    pub src_world: WorldRank,
+    /// Sender's rank within the communicator `context` belongs to —
+    /// the rank receivers match against.
+    pub src_comm: CommRank,
+    /// Communicator context.
+    pub context: ContextId,
+    /// Message tag (may be a negative system tag).
+    pub tag: Tag,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Per (sender, receiver) sequence number; diagnostic only (FIFO is
+    /// provided by the transport, this lets tests assert it).
+    #[allow(dead_code)]
+    pub seq: u64,
+    /// Poison marker: this envelope is not data but an error
+    /// notification from a peer abandoning a collective (see
+    /// `collective` module docs). Poisoned envelopes complete matching
+    /// receives with `RankFailStop`.
+    pub poison: bool,
+}

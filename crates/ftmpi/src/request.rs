@@ -1,0 +1,305 @@
+//! Nonblocking request handles and the per-process request table.
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+use crate::matching::MatchSpec;
+use crate::status::Status;
+
+/// An opaque nonblocking-operation handle (`MPI_Request`).
+///
+/// Copyable; generation-checked so a stale handle of a freed slot is
+/// detected instead of aliasing a new request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
+}
+
+/// Completion value of a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Receive status (PROC_NULL for recognized-failed peers; a
+    /// synthetic status for sends and validates).
+    pub status: Status,
+    /// Received payload (empty for sends).
+    pub data: Bytes,
+}
+
+impl Completion {
+    /// Completion of an eager send.
+    pub(crate) fn send() -> Self {
+        Completion { status: Status::new(0, 0, 0), data: Bytes::new() }
+    }
+
+    /// Completion of a `icomm_validate_all`: the failed-rank count is
+    /// carried in `status.len`.
+    pub(crate) fn validate(count: usize) -> Self {
+        Completion { status: Status { source: None, tag: 0, len: count }, data: Bytes::new() }
+    }
+
+    /// For a completed `icomm_validate_all`: the agreed number of
+    /// failed ranks in the communicator.
+    pub fn validate_count(&self) -> usize {
+        self.status.len
+    }
+}
+
+/// What kind of operation a request represents.
+#[derive(Debug)]
+pub(crate) enum ReqBody {
+    /// A posted receive with its match specification.
+    Recv(MatchSpec),
+    /// An eager send (always created complete).
+    Send,
+    /// An in-flight `icomm_validate_all` on the comm at this local
+    /// table index, joined at this validate round.
+    Validate {
+        /// Local communicator table index.
+        comm_idx: usize,
+        /// The validate round this request joined.
+        round: u64,
+    },
+    /// An in-flight `ibarrier` on the comm at this local table index,
+    /// joined at this barrier round.
+    Barrier {
+        /// Local communicator table index.
+        comm_idx: usize,
+        /// The barrier round this request joined.
+        round: u64,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) enum ReqState {
+    Pending,
+    Done(Result<Completion>),
+}
+
+struct SlotData {
+    gen: u32,
+    body: ReqBody,
+    state: ReqState,
+}
+
+/// Per-process request table (slab with free list).
+#[derive(Default)]
+pub(crate) struct ReqTable {
+    slots: Vec<Option<SlotData>>,
+    free: Vec<u32>,
+    gen: u32,
+}
+
+impl ReqTable {
+    pub(crate) fn new() -> Self {
+        ReqTable::default()
+    }
+
+    /// Number of live (pending or done-but-unconsumed) requests.
+    pub(crate) fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    pub(crate) fn insert(&mut self, body: ReqBody, state: ReqState) -> Request {
+        self.gen = self.gen.wrapping_add(1);
+        let data = SlotData { gen: self.gen, body, state };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(data);
+            idx
+        } else {
+            self.slots.push(Some(data));
+            (self.slots.len() - 1) as u32
+        };
+        Request { idx, gen: self.gen }
+    }
+
+    fn slot(&self, req: Request) -> Result<&SlotData> {
+        self.slots
+            .get(req.idx as usize)
+            .and_then(|s| s.as_ref())
+            .filter(|s| s.gen == req.gen)
+            .ok_or(Error::InvalidRequest)
+    }
+
+    fn slot_mut(&mut self, req: Request) -> Result<&mut SlotData> {
+        self.slots
+            .get_mut(req.idx as usize)
+            .and_then(|s| s.as_mut())
+            .filter(|s| s.gen == req.gen)
+            .ok_or(Error::InvalidRequest)
+    }
+
+    pub(crate) fn body(&self, req: Request) -> Result<&ReqBody> {
+        Ok(&self.slot(req)?.body)
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn is_valid(&self, req: Request) -> bool {
+        self.slot(req).is_ok()
+    }
+
+    pub(crate) fn is_done(&self, req: Request) -> Result<bool> {
+        Ok(matches!(self.slot(req)?.state, ReqState::Done(_)))
+    }
+
+    /// Mark a pending request complete. No-op if already done.
+    pub(crate) fn complete(&mut self, req: Request, result: Result<Completion>) {
+        if let Ok(slot) = self.slot_mut(req) {
+            if matches!(slot.state, ReqState::Pending) {
+                slot.state = ReqState::Done(result);
+            }
+        }
+    }
+
+    /// Complete by raw index (used by the match engine, which stores
+    /// full `Request` handles, so this stays generation-safe).
+    pub(crate) fn complete_if_pending(&mut self, req: Request, result: Result<Completion>) -> bool {
+        match self.slot_mut(req) {
+            Ok(slot) if matches!(slot.state, ReqState::Pending) => {
+                slot.state = ReqState::Done(result);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the request is still pending (valid and not done).
+    pub(crate) fn is_pending(&self, req: Request) -> bool {
+        matches!(self.slot(req).map(|s| &s.state), Ok(ReqState::Pending))
+    }
+
+    /// Consume a completed request, freeing its slot.
+    ///
+    /// Errors with `InvalidRequest` if the handle is stale; panics are
+    /// never used for application-visible conditions.
+    pub(crate) fn take(&mut self, req: Request) -> Result<Result<Completion>> {
+        {
+            let slot = self.slot(req)?;
+            if matches!(slot.state, ReqState::Pending) {
+                return Err(Error::InvalidState("request still pending"));
+            }
+        }
+        let data = self.slots[req.idx as usize].take().expect("checked above");
+        self.free.push(req.idx);
+        match data.state {
+            ReqState::Done(r) => Ok(r),
+            ReqState::Pending => unreachable!(),
+        }
+    }
+
+    /// Pending `icomm_validate_all` requests: `(handle, comm_idx,
+    /// round)` triples for the progress engine to poll.
+    pub(crate) fn pending_validates(&self) -> Vec<(Request, usize, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let s = slot.as_ref()?;
+                if !matches!(s.state, ReqState::Pending) {
+                    return None;
+                }
+                if let ReqBody::Validate { comm_idx, round } = s.body {
+                    Some((Request { idx: i as u32, gen: s.gen }, comm_idx, round))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Pending `ibarrier` requests: `(handle, comm_idx, round)`.
+    pub(crate) fn pending_barriers(&self) -> Vec<(Request, usize, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let s = slot.as_ref()?;
+                if !matches!(s.state, ReqState::Pending) {
+                    return None;
+                }
+                if let ReqBody::Barrier { comm_idx, round } = s.body {
+                    Some((Request { idx: i as u32, gen: s.gen }, comm_idx, round))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Drop a request regardless of state (cancel).
+    pub(crate) fn remove(&mut self, req: Request) -> Result<()> {
+        let _ = self.slot(req)?;
+        self.slots[req.idx as usize] = None;
+        self.free.push(req.idx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::SrcSel;
+    use crate::tag::TagSel;
+
+    fn spec() -> MatchSpec {
+        MatchSpec { context: 0, src: SrcSel::Any, tag: TagSel::Any }
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut t = ReqTable::new();
+        let r = t.insert(ReqBody::Send, ReqState::Done(Ok(Completion::send())));
+        assert!(t.is_done(r).unwrap());
+        let c = t.take(r).unwrap().unwrap();
+        assert_eq!(c.data.len(), 0);
+        // Slot is freed; handle is now stale.
+        assert_eq!(t.take(r).unwrap_err(), Error::InvalidRequest);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn stale_generation_detected_after_reuse() {
+        let mut t = ReqTable::new();
+        let r1 = t.insert(ReqBody::Send, ReqState::Done(Ok(Completion::send())));
+        t.take(r1).unwrap().unwrap();
+        let r2 = t.insert(ReqBody::Send, ReqState::Done(Ok(Completion::send())));
+        assert_eq!(r1.idx, r2.idx, "slot should be reused");
+        assert!(!t.is_valid(r1));
+        assert!(t.is_valid(r2));
+    }
+
+    #[test]
+    fn pending_cannot_be_taken() {
+        let mut t = ReqTable::new();
+        let r = t.insert(ReqBody::Recv(spec()), ReqState::Pending);
+        assert!(t.is_pending(r));
+        assert!(matches!(t.take(r), Err(Error::InvalidState(_))));
+        t.complete(r, Ok(Completion::send()));
+        assert!(!t.is_pending(r));
+        assert!(t.take(r).unwrap().is_ok());
+    }
+
+    #[test]
+    fn complete_if_pending_only_fires_once() {
+        let mut t = ReqTable::new();
+        let r = t.insert(ReqBody::Recv(spec()), ReqState::Pending);
+        assert!(t.complete_if_pending(r, Ok(Completion::send())));
+        assert!(!t.complete_if_pending(r, Err(Error::SelfFailed)));
+        assert!(t.take(r).unwrap().is_ok(), "first completion wins");
+    }
+
+    #[test]
+    fn validate_completion_carries_count() {
+        let c = Completion::validate(3);
+        assert_eq!(c.validate_count(), 3);
+    }
+
+    #[test]
+    fn remove_cancels_pending() {
+        let mut t = ReqTable::new();
+        let r = t.insert(ReqBody::Recv(spec()), ReqState::Pending);
+        t.remove(r).unwrap();
+        assert!(!t.is_valid(r));
+        assert_eq!(t.live(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Receive status (`MPI_Status`).
+
+use crate::rank::CommRank;
+use crate::tag::Tag;
+
+/// Completion status of a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank in the communicator, or `None` for a receive that
+    /// completed with `MPI_PROC_NULL` semantics (recognized failed
+    /// peer).
+    pub source: Option<CommRank>,
+    /// Tag of the matched message (meaningless for PROC_NULL).
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+impl Status {
+    /// Status of a message received from `source` with `tag`.
+    pub fn new(source: CommRank, tag: Tag, len: usize) -> Self {
+        Status { source: Some(source), tag, len }
+    }
+
+    /// The status a receive from a recognized failed (`MPI_PROC_NULL`)
+    /// rank completes with: no source, zero-length.
+    pub fn proc_null() -> Self {
+        Status { source: None, tag: 0, len: 0 }
+    }
+
+    /// Whether this is a PROC_NULL completion.
+    pub fn is_proc_null(&self) -> bool {
+        self.source.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_null_status() {
+        let s = Status::proc_null();
+        assert!(s.is_proc_null());
+        assert_eq!(s.len, 0);
+    }
+
+    #[test]
+    fn normal_status() {
+        let s = Status::new(4, 9, 16);
+        assert!(!s.is_proc_null());
+        assert_eq!(s.source, Some(4));
+        assert_eq!(s.tag, 9);
+        assert_eq!(s.len, 16);
+    }
+}

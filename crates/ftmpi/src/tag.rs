@@ -1,0 +1,112 @@
+//! Message tags.
+//!
+//! User tags are non-negative `i32`s, as in MPI. Negative tags are
+//! reserved for the runtime's internal traffic (collective algorithms,
+//! validate protocol), so user messages can never match system
+//! receives and vice versa.
+
+use crate::error::{Error, Result};
+
+/// A message tag. User space: `0..=TAG_UB`.
+pub type Tag = i32;
+
+/// Largest user tag (`MPI_TAG_UB`).
+pub const TAG_UB: Tag = i32::MAX - 1;
+
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+///
+/// Only valid on the receive side; represented out-of-band in match
+/// specifications, never on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match exactly this tag.
+    Exact(Tag),
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+}
+
+impl TagSel {
+    /// Whether an incoming tag satisfies this selector.
+    pub fn matches(self, tag: Tag) -> bool {
+        match self {
+            TagSel::Exact(t) => t == tag,
+            TagSel::Any => true,
+        }
+    }
+}
+
+impl From<Tag> for TagSel {
+    fn from(t: Tag) -> Self {
+        TagSel::Exact(t)
+    }
+}
+
+/// Base of the reserved system tag space (all negative).
+pub(crate) const SYSTEM_TAG_BASE: Tag = i32::MIN;
+
+/// Tags used by the built-in collective algorithms. Each collective
+/// instance `i` on a communicator uses `system_tag(op, i)` so that
+/// successive collectives (and poison from an aborted one) can never
+/// cross-match.
+pub(crate) fn system_tag(op: u8, instance: u64) -> Tag {
+    // 20 bits of instance, 4 bits of op, folded into the negative space.
+    let inst = (instance % (1 << 20)) as i32;
+    SYSTEM_TAG_BASE + ((op as i32) << 20) + inst
+}
+
+/// Recover the (wrapped) collective instance from a system tag.
+pub(crate) fn system_tag_instance(tag: Tag) -> u64 {
+    debug_assert!(tag < 0);
+    ((tag - SYSTEM_TAG_BASE) & ((1 << 20) - 1)) as u64
+}
+
+/// Validate a user-supplied tag for a send/recv operation.
+pub fn check_user_tag(tag: Tag) -> Result<Tag> {
+    if (0..=TAG_UB).contains(&tag) {
+        Ok(tag)
+    } else {
+        Err(Error::InvalidTag { tag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors() {
+        assert!(TagSel::Exact(5).matches(5));
+        assert!(!TagSel::Exact(5).matches(6));
+        assert!(TagSel::Any.matches(0));
+        assert!(TagSel::Any.matches(TAG_UB));
+        assert_eq!(TagSel::from(9), TagSel::Exact(9));
+    }
+
+    #[test]
+    fn user_tags_validated() {
+        assert!(check_user_tag(0).is_ok());
+        assert!(check_user_tag(TAG_UB).is_ok());
+        assert!(check_user_tag(-1).is_err());
+        assert!(check_user_tag(i32::MAX).is_err());
+    }
+
+    #[test]
+    fn system_tags_are_negative_and_distinct_across_ops_and_instances() {
+        for op in 0..8u8 {
+            for inst in [0u64, 1, 2, 99, 1 << 19] {
+                let t = system_tag(op, inst);
+                assert!(t < 0, "system tag must be negative: {t}");
+            }
+        }
+        assert_ne!(system_tag(0, 1), system_tag(0, 2));
+        assert_ne!(system_tag(0, 1), system_tag(1, 1));
+    }
+
+    #[test]
+    fn system_tag_instances_wrap_without_collision_within_window() {
+        // Two instances within the 2^20 window never collide.
+        let a = system_tag(3, 7);
+        let b = system_tag(3, 8);
+        assert_ne!(a, b);
+    }
+}

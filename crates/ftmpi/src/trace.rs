@@ -1,0 +1,175 @@
+//! Protocol event tracing.
+//!
+//! When enabled in the universe config, the runtime records an ordered
+//! log of protocol events. Scenario tests use the log to assert *how*
+//! an outcome was reached (e.g. Fig. 8: the duplicate really was a
+//! resend from `P1`, not a matching accident), and the experiment
+//! binaries print it as the message diagrams of the paper's figures.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::message::ContextId;
+use crate::rank::WorldRank;
+use crate::tag::Tag;
+
+/// One traced protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `src` handed a message to the transport for `dst`.
+    Send {
+        /// Sender world rank.
+        src: WorldRank,
+        /// Destination world rank.
+        dst: WorldRank,
+        /// Communicator context.
+        context: ContextId,
+        /// Message tag.
+        tag: Tag,
+        /// Payload length.
+        len: usize,
+    },
+    /// A receive at `dst` matched a message from `src`.
+    RecvMatch {
+        /// Receiver world rank.
+        dst: WorldRank,
+        /// Sender communicator rank as seen in the match.
+        src: usize,
+        /// Communicator context.
+        context: ContextId,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// A posted receive at `rank` completed in error because `peer`
+    /// failed (the Irecv-as-failure-detector firing).
+    RecvFailure {
+        /// The rank whose receive errored.
+        rank: WorldRank,
+        /// The failed peer (communicator rank).
+        peer: usize,
+    },
+    /// `rank` was fail-stopped.
+    Killed {
+        /// The victim.
+        rank: WorldRank,
+    },
+    /// `rank` was revived as a fresh incarnation (recovery extension).
+    Respawned {
+        /// The revived rank.
+        rank: WorldRank,
+        /// Its new incarnation number.
+        generation: u32,
+    },
+    /// The job was aborted.
+    Aborted {
+        /// Abort code.
+        code: i32,
+    },
+    /// A `validate_all` round decided on a communicator.
+    ValidateDecided {
+        /// Communicator context.
+        context: ContextId,
+        /// The round number.
+        round: u64,
+        /// Number of failed ranks agreed on.
+        failed: usize,
+    },
+    /// A collective was entered by `rank`.
+    CollectiveEnter {
+        /// Participant world rank.
+        rank: WorldRank,
+        /// Operation name.
+        op: &'static str,
+        /// Instance number on the communicator.
+        instance: u64,
+    },
+    /// `rank` abandoned a collective and poisoned its dependents.
+    CollectivePoison {
+        /// The abandoning rank.
+        rank: WorldRank,
+        /// Operation name.
+        op: &'static str,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone)]
+pub struct TimedEvent {
+    /// Microseconds since universe start.
+    pub at_us: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Shared trace sink.
+pub struct Trace {
+    enabled: AtomicBool,
+    start: Instant,
+    events: Mutex<Vec<TimedEvent>>,
+}
+
+impl Trace {
+    /// A trace sink; records only if `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        Trace { enabled: AtomicBool::new(enabled), start: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&self, event: Event) {
+        if !self.enabled() {
+            return;
+        }
+        let at_us = self.start.elapsed().as_micros() as u64;
+        self.events.lock().push(TimedEvent { at_us, event });
+    }
+
+    /// Snapshot of all events so far, in record order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&Event) -> bool) -> usize {
+        self.events.lock().iter().filter(|te| pred(&te.event)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::new(false);
+        t.record(Event::Killed { rank: 1 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let t = Trace::new(true);
+        t.record(Event::Killed { rank: 1 });
+        t.record(Event::Aborted { code: 3 });
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].event, Event::Killed { rank: 1 });
+        assert!(evs[0].at_us <= evs[1].at_us);
+    }
+
+    #[test]
+    fn count_filters() {
+        let t = Trace::new(true);
+        for r in 0..3 {
+            t.record(Event::Killed { rank: r });
+        }
+        t.record(Event::Aborted { code: 0 });
+        assert_eq!(t.count(|e| matches!(e, Event::Killed { .. })), 3);
+    }
+}

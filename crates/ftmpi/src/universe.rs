@@ -1,0 +1,331 @@
+//! The universe: spawn N ranks, run a closure on each, harvest results.
+//!
+//! Each rank is an OS thread holding a [`Process`]; the universe wires
+//! the shared fabric, failure registry, fault injector, coordination
+//! boards and trace together, runs an optional asynchronous kill
+//! schedule, and — crucially for reproducing the paper's Fig. 6 — a
+//! watchdog that detects distributed hangs and converts them into a
+//! clean, reportable outcome instead of a wedged test suite.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use faultsim::{AsyncSchedule, FaultPlan, Injector, KillHandle};
+
+use crate::coord::CommBoard;
+use crate::detector::FailureRegistry;
+use crate::nbc::BarrierBoard;
+use crate::error::{Error, RankOutcome, Result};
+use crate::process::Process;
+use crate::rank::WorldRank;
+use crate::trace::{Event, Trace, TimedEvent};
+use crate::validate::ValidateBoard;
+
+/// Abort code used by the watchdog when it breaks a hang.
+pub const WATCHDOG_ABORT_CODE: i32 = -9999;
+
+/// Context id of `MPI_COMM_WORLD`.
+pub(crate) const WORLD_CTX: u64 = 0;
+
+/// Universe-wide shared state handed to every [`Process`].
+pub(crate) struct Shared {
+    pub size: usize,
+    pub fabric: crate::transport::Fabric,
+    pub registry: FailureRegistry,
+    pub injector: Arc<Injector>,
+    pub board: CommBoard,
+    pub vboard: ValidateBoard,
+    pub bboard: BarrierBoard,
+    pub trace: Arc<Trace>,
+}
+
+impl Shared {
+    /// Fail-stop `rank`: registry transition + trace + wake everyone.
+    pub(crate) fn kill(&self, rank: WorldRank) {
+        if self.registry.kill(rank) {
+            self.trace.record(Event::Killed { rank });
+            self.fabric.wake_all();
+        }
+    }
+
+    /// Recovery extension: revive `rank` as a fresh incarnation.
+    /// Clears its mailbox (messages to the dead incarnation are lost,
+    /// per fail-stop) and wakes everyone. Returns the new generation.
+    pub(crate) fn respawn(&self, rank: WorldRank) -> Option<u32> {
+        let gen = self.registry.respawn(rank)?;
+        self.fabric.clear(rank);
+        self.trace.record(Event::Respawned { rank, generation: gen });
+        self.fabric.wake_all();
+        Some(gen)
+    }
+
+    /// Abort the job: registry transition + trace + wake everyone.
+    pub(crate) fn abort(&self, code: i32) {
+        if self.registry.abort(code) {
+            self.trace.record(Event::Aborted { code });
+            self.fabric.wake_all();
+        }
+    }
+}
+
+/// Configuration for one universe run.
+#[derive(Default)]
+pub struct UniverseConfig {
+    /// Hook-based fault plan (exact protocol-point kills).
+    pub plan: FaultPlan,
+    /// Wall-clock kill schedule (asynchronous kills).
+    pub schedule: Option<AsyncSchedule>,
+    /// Hang watchdog: if the run does not complete within this
+    /// duration, the universe is aborted with
+    /// [`WATCHDOG_ABORT_CODE`] and the report is marked `hung`.
+    pub watchdog: Option<Duration>,
+    /// Record protocol events.
+    pub trace: bool,
+    /// Recovery extension: respawn failed ranks (the paper's declared
+    /// future-work direction; see DESIGN.md for the supported scope —
+    /// point-to-point protocols like the task farm, not rings or
+    /// in-flight collectives/validates).
+    pub respawn: Option<RespawnPolicy>,
+}
+
+/// How failed ranks are brought back (recovery extension).
+#[derive(Debug, Clone, Copy)]
+pub struct RespawnPolicy {
+    /// Delay between observing a death and respawning the rank.
+    pub after: Duration,
+    /// Respawn budget per rank (further deaths stay dead).
+    pub max_per_rank: u32,
+}
+
+impl UniverseConfig {
+    /// Config with a fault plan and defaults otherwise.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        UniverseConfig { plan, ..Default::default() }
+    }
+
+    /// Builder-style: set the watchdog.
+    pub fn watchdog(mut self, d: Duration) -> Self {
+        self.watchdog = Some(d);
+        self
+    }
+
+    /// Builder-style: enable tracing.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style: attach an asynchronous kill schedule.
+    pub fn scheduled(mut self, s: AsyncSchedule) -> Self {
+        self.schedule = Some(s);
+        self
+    }
+
+    /// Builder-style: enable the recovery extension.
+    pub fn respawning(mut self, policy: RespawnPolicy) -> Self {
+        self.respawn = Some(policy);
+        self
+    }
+}
+
+/// Result of a universe run.
+pub struct RunReport<T> {
+    /// Per-rank outcomes, indexed by world rank.
+    pub outcomes: Vec<RankOutcome<T>>,
+    /// Whether the watchdog had to break a distributed hang.
+    pub hung: bool,
+    /// The recorded protocol trace (empty unless tracing was enabled).
+    pub trace: Vec<TimedEvent>,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Final incarnation number per rank (all 0 without the recovery
+    /// extension).
+    pub generations: Vec<u32>,
+}
+
+impl<T> RunReport<T> {
+    /// Whether every rank returned `Ok`.
+    pub fn all_ok(&self) -> bool {
+        !self.hung && self.outcomes.iter().all(|o| o.is_ok())
+    }
+
+    /// World ranks that were fail-stopped.
+    pub fn failed_ranks(&self) -> Vec<WorldRank> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_failed())
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Ok values of surviving ranks, as (rank, value) pairs.
+    pub fn ok_values(&self) -> Vec<(WorldRank, &T)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(r, o)| o.as_ok().map(|v| (r, v)))
+            .collect()
+    }
+}
+
+/// Entry point: run `f` on `n` ranks under `cfg`.
+///
+/// `f` receives a mutable [`Process`] and returns the rank's result;
+/// returning `Err(Error::SelfFailed)` (which every runtime call does
+/// once the rank is killed) records the rank as [`RankOutcome::Failed`].
+pub fn run<T, F>(n: usize, cfg: UniverseConfig, f: F) -> RunReport<T>
+where
+    T: Send,
+    F: Fn(&mut Process) -> Result<T> + Send + Sync,
+{
+    assert!(n >= 1, "universe needs at least one rank");
+    let shared = Arc::new(Shared {
+        size: n,
+        fabric: crate::transport::Fabric::new(n),
+        registry: FailureRegistry::new(n),
+        injector: Arc::new(Injector::new(cfg.plan)),
+        board: CommBoard::new(WORLD_CTX + 1),
+        vboard: ValidateBoard::new(),
+        bboard: BarrierBoard::new(),
+        trace: Arc::new(Trace::new(cfg.trace)),
+    });
+
+    // Asynchronous kill schedule, if any.
+    let schedule_handle = cfg.schedule.map(|s| {
+        let shared = Arc::clone(&shared);
+        let kill: KillHandle = Arc::new(move |r| {
+            if r < shared.size {
+                shared.kill(r);
+            }
+        });
+        s.start(kill)
+    });
+
+    let outcomes: Mutex<Vec<Option<RankOutcome<T>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let spawned = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut hung = false;
+    let respawn_policy = cfg.respawn;
+
+    std::thread::scope(|scope| {
+        let spawn_incarnation = |me: usize, gen: u32| {
+            spawned.fetch_add(1, Ordering::AcqRel);
+            let shared = Arc::clone(&shared);
+            let f = &f;
+            let outcomes = &outcomes;
+            let done = &done;
+            scope.spawn(move || {
+                let mut proc = Process::new(me, gen, shared);
+                let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut proc)));
+                let outcome = match res {
+                    Ok(Ok(v)) => RankOutcome::Ok(v),
+                    Ok(Err(Error::SelfFailed)) => RankOutcome::Failed,
+                    Ok(Err(Error::Aborted { code })) => RankOutcome::Aborted { code },
+                    Ok(Err(e)) => RankOutcome::Err(e),
+                    Err(p) => {
+                        let msg = p
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic".to_string());
+                        RankOutcome::Panicked(msg)
+                    }
+                };
+                // Later incarnations overwrite: the rank's reported
+                // outcome is its final incarnation's.
+                outcomes.lock()[me] = Some(outcome);
+                done.fetch_add(1, Ordering::AcqRel);
+            });
+        };
+
+        for me in 0..n {
+            spawn_incarnation(me, 0);
+        }
+
+        // Supervisor loop: watchdog + recovery. Skipped entirely when
+        // neither is configured (the scope join suffices).
+        if cfg.watchdog.is_some() || respawn_policy.is_some() {
+            let mut budget: Vec<u32> =
+                vec![respawn_policy.map(|p| p.max_per_rank).unwrap_or(0); n];
+            let mut death_seen: Vec<Option<Instant>> = vec![None; n];
+            loop {
+                let all_done = done.load(Ordering::Acquire) == spawned.load(Ordering::Acquire);
+                // A respawn is only pending while some incarnation is
+                // still running: reviving a rank after everyone else
+                // finished would strand it (nobody left to talk to).
+                let respawn_pending = !all_done
+                    && respawn_policy.is_some()
+                    && shared.registry.aborted().is_none()
+                    && (0..n).any(|r| shared.registry.is_failed(r) && budget[r] > 0);
+                if all_done {
+                    break;
+                }
+                if let Some(limit) = cfg.watchdog {
+                    if start.elapsed() > limit {
+                        hung = true;
+                        shared.abort(WATCHDOG_ABORT_CODE);
+                        break;
+                    }
+                }
+                if let Some(policy) = respawn_policy {
+                    if respawn_pending {
+                        for r in 0..n {
+                            if !shared.registry.is_failed(r) {
+                                death_seen[r] = None;
+                                continue;
+                            }
+                            if budget[r] == 0 {
+                                continue;
+                            }
+                            let seen = *death_seen[r].get_or_insert_with(Instant::now);
+                            if seen.elapsed() >= policy.after {
+                                budget[r] -= 1;
+                                death_seen[r] = None;
+                                if let Some(gen) = shared.respawn(r) {
+                                    spawn_incarnation(r, gen);
+                                }
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Scope joins all rank threads here; after an abort every
+        // blocked rank wakes and unwinds promptly.
+    });
+
+    if let Some(h) = schedule_handle {
+        h.join();
+    }
+
+    let generations = (0..n).map(|r| shared.registry.generation(r)).collect();
+    let outcomes = outcomes
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every rank records an outcome"))
+        .collect();
+    RunReport {
+        outcomes,
+        hung,
+        trace: shared.trace.events(),
+        duration: start.elapsed(),
+        generations,
+    }
+}
+
+/// Run with default configuration (no faults, no watchdog).
+pub fn run_default<T, F>(n: usize, f: F) -> RunReport<T>
+where
+    T: Send,
+    F: Fn(&mut Process) -> Result<T> + Send + Sync,
+{
+    run(n, UniverseConfig::default(), f)
+}

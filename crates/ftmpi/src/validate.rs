@@ -1,0 +1,195 @@
+//! The `validate_all` decision board.
+//!
+//! `MPI_Comm_validate_all` is, per the proposal, "an implementation of
+//! a fault tolerant consensus algorithm" that "will return either
+//! success everywhere or some error at each alive rank". The 2011
+//! prototype implemented it inside Open MPI; this runtime implements it
+//! as a shared-memory decision barrier, which gives *uniform* agreement
+//! by construction: there is exactly one decision point per round.
+//!
+//! Protocol per communicator context:
+//!
+//! 1. a member joins round *r* (its local round counter);
+//! 2. whenever any member polls — or a failure wakes everyone — the
+//!    board checks "has every member of the communicator either joined
+//!    round *r* or failed?";
+//! 3. the first poller to observe that condition decides: the agreed
+//!    failed set is the registry snapshot restricted to the comm's
+//!    membership, recorded for round *r*;
+//! 4. every member consumes the decision for its round exactly once
+//!    (the consumption updates its per-comm recognition state).
+//!
+//! Message-based agreement algorithms (the coordinator two-phase and
+//! flooding protocols this substitutes for) are provided — and
+//! benchmarked as an ablation — in the `consensus` crate.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::detector::FailureRegistry;
+use crate::group::Group;
+use crate::message::ContextId;
+use crate::rank::WorldRank;
+
+/// How many past decisions to retain per context. Members move through
+/// rounds in lock-step (validate_all is collective), so a tiny window
+/// suffices; 16 is generous.
+const DECISION_WINDOW: u64 = 16;
+
+#[derive(Default)]
+struct CtxState {
+    joined: HashMap<u64, HashSet<WorldRank>>,
+    decisions: HashMap<u64, Arc<Vec<WorldRank>>>,
+}
+
+/// Shared validate board for one universe.
+#[derive(Default)]
+pub(crate) struct ValidateBoard {
+    ctxs: Mutex<HashMap<ContextId, CtxState>>,
+}
+
+impl ValidateBoard {
+    pub(crate) fn new() -> Self {
+        ValidateBoard::default()
+    }
+
+    /// Join `round` on `ctx` as `me`. Idempotent.
+    pub(crate) fn join(&self, ctx: ContextId, round: u64, me: WorldRank) {
+        let mut ctxs = self.ctxs.lock();
+        ctxs.entry(ctx).or_default().joined.entry(round).or_default().insert(me);
+    }
+
+    /// Try to obtain the decision for (`ctx`, `round`).
+    ///
+    /// Returns `(failed_world_set, newly_decided)`; `newly_decided`
+    /// tells the caller it must wake the universe so blocked members
+    /// observe the decision.
+    pub(crate) fn poll(
+        &self,
+        ctx: ContextId,
+        round: u64,
+        group: &Group,
+        registry: &FailureRegistry,
+    ) -> Option<(Arc<Vec<WorldRank>>, bool)> {
+        let mut ctxs = self.ctxs.lock();
+        let state = ctxs.entry(ctx).or_default();
+        if let Some(d) = state.decisions.get(&round) {
+            return Some((Arc::clone(d), false));
+        }
+        let joined = state.joined.entry(round).or_default();
+        let all_in = group
+            .members()
+            .iter()
+            .all(|&w| joined.contains(&w) || registry.is_failed(w));
+        if !all_in {
+            return None;
+        }
+        // Decide: snapshot of failed members at the single decision
+        // point. Every consumer of this round sees this exact set.
+        let failed: Vec<WorldRank> =
+            group.members().iter().copied().filter(|&w| registry.is_failed(w)).collect();
+        let decision = Arc::new(failed);
+        state.decisions.insert(round, Arc::clone(&decision));
+        state.joined.remove(&round);
+        state
+            .decisions
+            .retain(|&r, _| r + DECISION_WINDOW > round);
+        Some((decision, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_decision_until_all_alive_joined() {
+        let board = ValidateBoard::new();
+        let group = Group::world(3);
+        let reg = FailureRegistry::new(3);
+        board.join(0, 0, 0);
+        board.join(0, 0, 1);
+        assert!(board.poll(0, 0, &group, &reg).is_none());
+        board.join(0, 0, 2);
+        let (failed, newly) = board.poll(0, 0, &group, &reg).unwrap();
+        assert!(newly);
+        assert!(failed.is_empty());
+        // Second poll returns the cached decision.
+        let (_, newly2) = board.poll(0, 0, &group, &reg).unwrap();
+        assert!(!newly2);
+    }
+
+    #[test]
+    fn failed_members_are_implicitly_joined() {
+        let board = ValidateBoard::new();
+        let group = Group::world(3);
+        let reg = FailureRegistry::new(3);
+        board.join(0, 0, 0);
+        board.join(0, 0, 1);
+        assert!(board.poll(0, 0, &group, &reg).is_none());
+        reg.kill(2);
+        let (failed, _) = board.poll(0, 0, &group, &reg).unwrap();
+        assert_eq!(*failed, vec![2]);
+    }
+
+    #[test]
+    fn decision_is_stable_even_if_more_failures_happen_later() {
+        let board = ValidateBoard::new();
+        let group = Group::world(2);
+        let reg = FailureRegistry::new(2);
+        board.join(0, 0, 0);
+        board.join(0, 0, 1);
+        let (d1, _) = board.poll(0, 0, &group, &reg).unwrap();
+        reg.kill(1);
+        let (d2, _) = board.poll(0, 0, &group, &reg).unwrap();
+        assert_eq!(d1, d2, "round decision must be immutable");
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn rounds_are_independent() {
+        let board = ValidateBoard::new();
+        let group = Group::world(2);
+        let reg = FailureRegistry::new(2);
+        board.join(0, 0, 0);
+        board.join(0, 0, 1);
+        board.poll(0, 0, &group, &reg).unwrap();
+        // Round 1: only member 0 has joined; no decision yet.
+        board.join(0, 1, 0);
+        assert!(board.poll(0, 1, &group, &reg).is_none());
+        reg.kill(1);
+        let (failed, _) = board.poll(0, 1, &group, &reg).unwrap();
+        assert_eq!(*failed, vec![1]);
+    }
+
+    #[test]
+    fn contexts_are_independent() {
+        let board = ValidateBoard::new();
+        let group = Group::world(1);
+        let reg = FailureRegistry::new(1);
+        board.join(5, 0, 0);
+        assert!(board.poll(6, 0, &group, &reg).is_none());
+        assert!(board.poll(5, 0, &group, &reg).is_some());
+    }
+
+    #[test]
+    fn subgroup_membership_only_counts_members() {
+        let board = ValidateBoard::new();
+        // Group of world ranks {1, 3} in a 4-rank universe.
+        let group = Group::new(vec![1, 3]);
+        let reg = FailureRegistry::new(4);
+        board.join(9, 0, 1);
+        assert!(board.poll(9, 0, &group, &reg).is_none());
+        board.join(9, 0, 3);
+        let (failed, _) = board.poll(9, 0, &group, &reg).unwrap();
+        assert!(failed.is_empty());
+        // Failures outside the group never appear in the decision.
+        reg.kill(0);
+        board.join(9, 1, 1);
+        board.join(9, 1, 3);
+        let (failed, _) = board.poll(9, 1, &group, &reg).unwrap();
+        assert!(failed.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! §III-D live: the root dies mid-run, the lowest survivor elects
+//! itself (Fig. 12), reconstructs the ring state, and the run
+//! terminates through `icomm_validate_all` (Fig. 13).
+//!
+//! ```text
+//! cargo run --example root_failover
+//! ```
+
+use std::time::Duration;
+
+use ftmpi::{faultsim::scenario, run, UniverseConfig, WORLD};
+use ftring::{run_ring, summarize, RingConfig, T_N};
+
+fn main() {
+    let ranks = 6;
+    let iterations = 8;
+
+    // The root (rank 0) dies after closing its 3rd lap.
+    let plan = scenario::kill_after_recv(0, ranks - 1, T_N, 3);
+    let cfg = RingConfig::with_root_failover(iterations);
+
+    println!("ring: {ranks} ranks x {iterations} laps; the ROOT dies after lap 3");
+    println!("config: {cfg:?}\n");
+
+    let report = run(
+        ranks,
+        UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(60)),
+        move |p| run_ring(p, WORLD, &cfg),
+    );
+    let s = summarize(&report);
+
+    println!("hung:      {}", s.hung);
+    println!("failed:    {:?}", s.failed);
+    println!("survivors: {:?}", s.survivors);
+    for &r in &s.survivors {
+        let stats = report.outcomes[r].as_ok().unwrap();
+        println!(
+            "  rank {r}: became_root={} originated={} forwarded={} closures={:?} agreed_failed={:?}",
+            stats.became_root,
+            stats.originated,
+            stats.forwarded,
+            stats.closures,
+            stats.validate_failed,
+        );
+    }
+
+    assert!(!s.hung, "failover must prevent the hang");
+    assert_eq!(s.total_originated, iterations, "every lap originated exactly once");
+    let new_root = report.outcomes[1].as_ok().unwrap();
+    assert!(new_root.became_root, "rank 1 must take over");
+    println!(
+        "\nOK: rank 1 took over as root, originated the remaining laps, and every \
+         survivor agreed on {} failure(s) at termination.",
+        s.failed.len()
+    );
+}

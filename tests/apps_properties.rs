@@ -1,0 +1,129 @@
+//! Property tests for the domain applications: run-through under
+//! randomized failure placement.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use faultsim::{FaultPlan, FaultRule, HookKind, Trigger};
+use ftmpi::{run, UniverseConfig, WORLD};
+use ftring::apps::{expected_results, run_farm, run_heat, run_pipeline, FarmOutcome, HeatConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// Heat diffusion: any single interior failure at any step leaves
+    /// every survivor finishing all steps with finite values.
+    #[test]
+    fn heat_runs_through_any_single_failure(
+        victim in 1usize..4,
+        kill_recv in 1u64..80,
+    ) {
+        let cfg = HeatConfig { cells_per_rank: 6, steps: 50, ..Default::default() };
+        let plan = FaultPlan::none().with(FaultRule::kill(
+            victim,
+            Trigger::on(HookKind::AfterRecvComplete).nth(kill_recv),
+        ));
+        let cfg2 = cfg.clone();
+        let report = run(
+            5,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            move |p| run_heat(p, WORLD, &cfg2),
+        );
+        prop_assert!(!report.hung, "victim {victim} at recv {kill_recv} hung");
+        for (r, o) in report.outcomes.iter().enumerate() {
+            if o.is_failed() {
+                prop_assert_eq!(r, victim);
+                continue;
+            }
+            let res = o.as_ok().unwrap_or_else(|| panic!("rank {r}: {o:?}"));
+            prop_assert_eq!(res.steps, 50);
+            prop_assert!(res.cells.iter().all(|v| v.is_finite()));
+            // Temperatures stay within the boundary envelope (maximum
+            // principle, which fallback-boundaries preserve).
+            prop_assert!(res.cells.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)));
+        }
+    }
+
+    /// Task farm: every task completes exactly once for any worker
+    /// failure placement.
+    #[test]
+    fn farm_completes_every_task_under_any_worker_failure(
+        victim in 1usize..4,
+        kind in 0u8..2,
+        occurrence in 1u64..10,
+        n_tasks in 5usize..25,
+    ) {
+        let tasks: Vec<u64> = (0..n_tasks as u64).map(|i| i * 31 + 3).collect();
+        let trigger = if kind == 0 {
+            Trigger::on(HookKind::AfterRecvComplete).nth(occurrence)
+        } else {
+            Trigger::on(HookKind::AfterSend).nth(occurrence)
+        };
+        let plan = FaultPlan::none().with(FaultRule::kill(victim, trigger));
+        let expect = expected_results(&tasks);
+        let t2 = tasks.clone();
+        let report = run(
+            4,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            move |p| run_farm(p, WORLD, &t2),
+        );
+        prop_assert!(!report.hung);
+        match report.outcomes[0].as_ok() {
+            Some(FarmOutcome::Manager(m)) => {
+                prop_assert_eq!(&m.results, &expect, "victim {} occ {}", victim, occurrence);
+            }
+            other => prop_assert!(false, "manager outcome: {other:?}"),
+        }
+    }
+
+    /// Pipeline: survivors agree on the reduced vector (sum over the
+    /// final attempt's contributors) under any single failure.
+    #[test]
+    fn pipeline_survivors_agree_under_any_single_failure(
+        victim in 1usize..5,
+        occurrence in 1u64..8,
+        len in 4usize..20,
+    ) {
+        let plan = FaultPlan::none().with(FaultRule::kill(
+            victim,
+            Trigger::on(HookKind::AfterRecvComplete).nth(occurrence),
+        ));
+        let report = run(
+            5,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            move |p| {
+                let me = p.world_rank() as f64;
+                let vector: Vec<f64> = (0..len).map(|i| me * 100.0 + i as f64).collect();
+                run_pipeline(p, WORLD, &vector)
+            },
+        );
+        prop_assert!(!report.hung, "victim {victim} occ {occurrence} hung");
+        let survivors: Vec<_> = report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(r, o)| o.as_ok().map(|v| (r, v)))
+            .collect();
+        prop_assert!(!survivors.is_empty());
+        let (_, first) = &survivors[0];
+        for (r, res) in &survivors {
+            prop_assert_eq!(&res.reduced, &first.reduced, "rank {} diverges", r);
+            prop_assert_eq!(&res.contributors, &first.contributors, "rank {}", r);
+        }
+        // The reduced vector matches the sum over the agreed
+        // contributors exactly.
+        for (i, v) in first.reduced.iter().enumerate() {
+            let expected: f64 = first
+                .contributors
+                .iter()
+                .map(|&c| c as f64 * 100.0 + i as f64)
+                .sum();
+            prop_assert!((v - expected).abs() < 1e-9, "elem {}", i);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests: the DESIGN.md invariants under *randomized*
+//! fault schedules.
+//!
+//! Invariant 2: with detector receive + marker dedup + a termination
+//! protocol, for any failure schedule that spares the root, every
+//! surviving rank exits cleanly and the root observes exactly
+//! `max_iter` completed iterations, each exactly once. With root
+//! failover enabled the same holds for schedules that may kill the
+//! root, provided at least one rank survives.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use faultsim::{FaultPlan, FaultRule, HookKind, Trigger};
+use ftmpi::{run, UniverseConfig, WORLD};
+use ftring::{run_ring, summarize, RingConfig, TerminationMode, T_N};
+
+#[derive(Debug, Clone)]
+struct Kill {
+    victim: usize,
+    kind: u8,
+    occurrence: u64,
+}
+
+fn kill_strategy(world: usize, spare_root: bool) -> impl Strategy<Value = Kill> {
+    let lo = if spare_root { 1 } else { 0 };
+    (lo..world, 0u8..4, 1u64..6).prop_map(|(victim, kind, occurrence)| Kill {
+        victim,
+        kind,
+        occurrence,
+    })
+}
+
+fn build_plan(kills: &[Kill]) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    let mut seen = std::collections::HashSet::new();
+    for k in kills {
+        if !seen.insert(k.victim) {
+            continue; // one rule per victim
+        }
+        let trigger = match k.kind {
+            0 => Trigger::on(HookKind::AfterRecvComplete).tag(T_N).nth(k.occurrence),
+            1 => Trigger::on(HookKind::AfterSend).tag(T_N).nth(k.occurrence),
+            2 => Trigger::on(HookKind::BeforeRecvPost).tag(T_N).nth(k.occurrence),
+            _ => Trigger::on(HookKind::Tick).nth(k.occurrence),
+        };
+        plan = plan.with(FaultRule::kill(k.victim, trigger));
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Invariant 2, root spared.
+    #[test]
+    fn ring_completes_under_random_non_root_failures(
+        world in 4usize..8,
+        max_iter in 3u64..8,
+        kills in prop::collection::vec(kill_strategy(7, true), 0..3),
+        use_validate in any::<bool>(),
+    ) {
+        let kills: Vec<Kill> =
+            kills.into_iter().filter(|k| k.victim < world).collect();
+        // Keep at least one non-root alive.
+        let victims: std::collections::HashSet<usize> =
+            kills.iter().map(|k| k.victim).collect();
+        prop_assume!(victims.len() + 2 <= world);
+
+        let plan = build_plan(&kills);
+        let mode = if use_validate {
+            TerminationMode::ValidateAll
+        } else {
+            TerminationMode::RootBroadcast
+        };
+        let cfg = RingConfig::paper(max_iter).termination(mode);
+        let report = run(
+            world,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            move |p| run_ring(p, WORLD, &cfg),
+        );
+        let s = summarize(&report);
+        prop_assert!(!s.hung, "hung with kills {kills:?}: {:?}", s);
+        prop_assert!(!s.has_double_completion(), "closures {:?}", s.closures);
+        // The root survived and closed every lap exactly once.
+        let mut markers: Vec<u64> = s.closures.iter().map(|(m, _)| *m).collect();
+        markers.sort_unstable();
+        prop_assert_eq!(markers, (0..max_iter).collect::<Vec<_>>());
+        prop_assert_eq!(s.total_originated, max_iter);
+        // Every surviving non-root forwarded each lap exactly once.
+        for &r in &s.survivors {
+            if r == 0 {
+                continue;
+            }
+            let stats = report.outcomes[r].as_ok().unwrap();
+            prop_assert_eq!(
+                stats.forwarded, max_iter,
+                "rank {} forwarded {} of {} laps (kills {:?})",
+                r, stats.forwarded, max_iter, kills
+            );
+            prop_assert!(stats.terminated);
+        }
+        // Closure values match survivor counts: each lap's value is
+        // 1 + (number of forwarders of that lap) <= world.
+        for (m, v) in &s.closures {
+            prop_assert!(*v >= 2 && *v <= world as i64, "lap {} value {}", m, v);
+        }
+    }
+
+    /// Invariant 2, root failover: schedules that may kill anyone
+    /// (including cascading roots) still terminate with every lap
+    /// originated exactly once.
+    #[test]
+    fn ring_completes_under_random_failures_with_failover(
+        world in 4usize..7,
+        max_iter in 3u64..7,
+        kills in prop::collection::vec(kill_strategy(6, false), 0..3),
+    ) {
+        let kills: Vec<Kill> =
+            kills.into_iter().filter(|k| k.victim < world).collect();
+        let victims: std::collections::HashSet<usize> =
+            kills.iter().map(|k| k.victim).collect();
+        // Keep at least two ranks alive (an alone survivor aborts by
+        // design, per Fig. 4/5).
+        prop_assume!(victims.len() + 2 <= world);
+
+        let plan = build_plan(&kills);
+        let cfg = RingConfig::with_root_failover(max_iter);
+        let report = run(
+            world,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            move |p| run_ring(p, WORLD, &cfg),
+        );
+        let s = summarize(&report);
+        prop_assert!(!s.hung, "hung with kills {kills:?}");
+        prop_assert!(!s.has_double_completion(), "closures {:?}", s.closures);
+        for &r in &s.survivors {
+            let stats = report.outcomes[r].as_ok().unwrap();
+            prop_assert!(stats.terminated, "rank {} did not terminate", r);
+            prop_assert_eq!(
+                stats.validate_failed,
+                Some(s.failed.len()),
+                "rank {} saw a different agreed failure count",
+                r
+            );
+            // Participation invariant: every survivor handles every
+            // lap exactly once (forward or originate).
+            prop_assert_eq!(
+                stats.originated + stats.forwarded,
+                max_iter,
+                "rank {} participation (kills {:?})",
+                r,
+                kills
+            );
+        }
+    }
+
+    /// The Fig. 8 oracle: with dedup disabled and the deterministic
+    /// die-as-downstream-forwards trigger, the double completion is
+    /// *always* observable — across world sizes and iterations.
+    #[test]
+    fn no_dedup_reliably_exhibits_fig8_given_post_forward_kill(
+        world in 4usize..7,
+        occurrence in 2u64..4,
+    ) {
+        let max_iter = 6u64;
+        let victim = 2usize;
+        let observer = (victim + 2) % world; // two hops downstream
+        let plan =
+            faultsim::scenario::kill_behind_token(victim, observer, T_N, occurrence);
+        let cfg = RingConfig::no_dedup(max_iter);
+        let report = run(
+            world,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            move |p| run_ring(p, WORLD, &cfg),
+        );
+        let s = summarize(&report);
+        prop_assert!(!s.hung);
+        prop_assert_eq!(s.failed.clone(), vec![victim]);
+        prop_assert!(
+            s.has_double_completion() || s.total_duplicate_forwards > 0,
+            "the Fig. 8 defect must manifest deterministically: {:?}",
+            s
+        );
+    }
+}

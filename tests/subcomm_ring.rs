@@ -1,0 +1,104 @@
+//! The fault-tolerant ring on *derived* communicators: dup and split.
+//!
+//! The proposal's per-communicator recognition only matters if
+//! libraries actually run protocols on derived communicators — so the
+//! ring must work unchanged on them, including with failures.
+
+use std::time::Duration;
+
+use faultsim::scenario::kill_after_recv;
+use ftmpi::{run, RankOutcome, UniverseConfig, WORLD};
+use ftring::{run_ring, RingConfig, RingStats, T_N};
+
+const MAX_ITER: u64 = 5;
+
+fn wd() -> Duration {
+    Duration::from_secs(60)
+}
+
+#[test]
+fn ring_on_a_duplicated_communicator() {
+    let report = run(4, UniverseConfig::default().watchdog(wd()), |p| {
+        let dup = p.comm_dup(WORLD)?;
+        let cfg = RingConfig::paper(MAX_ITER);
+        run_ring(p, dup, &cfg)
+    });
+    assert!(report.all_ok());
+    let root = report.outcomes[0].as_ok().unwrap();
+    assert_eq!(root.closures.len(), MAX_ITER as usize);
+}
+
+#[test]
+fn ring_on_a_duplicated_communicator_with_failure() {
+    let plan = kill_after_recv(2, 1, T_N, 2);
+    let report = run(4, UniverseConfig::with_plan(plan).watchdog(wd()), |p| {
+        let dup = p.comm_dup(WORLD)?;
+        let cfg = RingConfig::paper(MAX_ITER);
+        run_ring(p, dup, &cfg)
+    });
+    assert!(!report.hung);
+    assert!(report.outcomes[2].is_failed());
+    let root = report.outcomes[0].as_ok().unwrap();
+    assert_eq!(root.closures.len(), MAX_ITER as usize);
+    let resends: u64 = report
+        .outcomes
+        .iter()
+        .filter_map(RankOutcome::as_ok)
+        .map(|s: &RingStats| s.resends)
+        .sum();
+    assert!(resends >= 1);
+}
+
+#[test]
+fn two_rings_on_split_halves_run_concurrently() {
+    // Ranks 0-2 form one ring, ranks 3-5 another; both run at once on
+    // their split communicators with independent roots.
+    let report = run(6, UniverseConfig::default().watchdog(wd()), |p| {
+        let color = (p.world_rank() / 3) as i64;
+        let half = p.comm_split(WORLD, Some(color), 0)?.expect("in a half");
+        assert_eq!(p.comm_size(half)?, 3);
+        let cfg = RingConfig::paper(MAX_ITER);
+        run_ring(p, half, &cfg)
+    });
+    assert!(report.all_ok());
+    // Each half's lowest world rank acted as that ring's root.
+    for root_rank in [0usize, 3] {
+        let stats = report.outcomes[root_rank].as_ok().unwrap();
+        assert_eq!(stats.closures.len(), MAX_ITER as usize, "root {root_rank}");
+        for (_, v) in &stats.closures {
+            assert_eq!(*v, 3, "3 participants per half");
+        }
+    }
+}
+
+#[test]
+fn split_ring_with_failure_in_one_half_leaves_other_untouched() {
+    // Rank 4 (in the second half) dies mid-ring; the first half must be
+    // completely unaffected, the second half runs through.
+    let plan = kill_after_recv(4, 3, T_N, 2);
+    let report = run(6, UniverseConfig::with_plan(plan).watchdog(wd()), |p| {
+        let color = (p.world_rank() / 3) as i64;
+        let half = p.comm_split(WORLD, Some(color), 0)?.expect("in a half");
+        let cfg = RingConfig::paper(MAX_ITER);
+        run_ring(p, half, &cfg)
+    });
+    assert!(!report.hung);
+    assert!(report.outcomes[4].is_failed());
+    // First half: pristine.
+    let first_root = report.outcomes[0].as_ok().unwrap();
+    assert_eq!(first_root.closures.len(), MAX_ITER as usize);
+    assert_eq!(first_root.resends, 0);
+    for r in 0..3 {
+        let s = report.outcomes[r].as_ok().unwrap();
+        assert_eq!(s.detector_fires, 0, "rank {r} must not observe the other half");
+    }
+    // Second half: recovered.
+    let second_root = report.outcomes[3].as_ok().unwrap();
+    assert_eq!(second_root.closures.len(), MAX_ITER as usize);
+    let half2_resends: u64 = [3usize, 5]
+        .iter()
+        .filter_map(|&r| report.outcomes[r].as_ok())
+        .map(|s| s.resends)
+        .sum();
+    assert!(half2_resends >= 1);
+}

@@ -1,0 +1,200 @@
+//! Contract tests for the Fig. 1 interfaces across crates, including
+//! the per-communicator recognition rationale the proposal gives:
+//! "Failures are recognized on a per-communicator basis to guarantee
+//! that libraries are able to receive notification of the failure,
+//! even if the main application has previously recognized the failure
+//! on a duplicate communicator."
+
+use std::time::Duration;
+
+use faultsim::{FaultPlan, HookKind};
+use ftmpi::{run, Error, ErrorHandler, RankState, Src, UniverseConfig, WORLD};
+
+fn wd() -> Duration {
+    Duration::from_secs(60)
+}
+
+/// Recognition on the app communicator must not recognize on the
+/// library's duplicate.
+#[test]
+fn recognition_is_per_communicator() {
+    let plan = FaultPlan::none().kill_at(2, HookKind::Tick, 1);
+    let report = run(
+        3,
+        UniverseConfig::with_plan(plan).watchdog(wd()),
+        |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            let lib_comm = p.comm_dup(WORLD)?;
+            p.set_errhandler(lib_comm, ErrorHandler::ErrorsReturn)?;
+            if p.world_rank() == 2 {
+                let req = p.irecv(WORLD, Src::Rank(0), 9)?;
+                let _ = p.wait(req)?;
+                return Ok(());
+            }
+            while p.comm_validate_rank(WORLD, 2)?.state == RankState::Ok {
+                std::thread::yield_now();
+            }
+            // The application recognizes on WORLD...
+            p.comm_validate_clear(WORLD, &[2])?;
+            assert_eq!(p.comm_validate_rank(WORLD, 2)?.state, RankState::Null);
+            // ...but the library's communicator still reports Failed,
+            // so the library gets its own notification.
+            assert_eq!(p.comm_validate_rank(lib_comm, 2)?.state, RankState::Failed);
+            // Library-side point-to-point with the failed rank errors
+            // until the library recognizes too.
+            match p.send(lib_comm, 2, 1, &0i32) {
+                Err(Error::RankFailStop { rank: 2 }) => {}
+                other => panic!("expected library-side notification, got {other:?}"),
+            }
+            p.comm_validate_clear(lib_comm, &[2])?;
+            assert_eq!(p.comm_validate_rank(lib_comm, 2)?.state, RankState::Null);
+            p.send(lib_comm, 2, 1, &0i32)?; // PROC_NULL drop now
+            Ok(())
+        },
+    );
+    assert!(!report.hung);
+    assert!(report.outcomes[0].is_ok(), "{:?}", report.outcomes[0]);
+    assert!(report.outcomes[1].is_ok());
+}
+
+/// `comm_validate` lists all failed ranks with their per-comm states.
+#[test]
+fn validate_lists_failed_ranks_with_states() {
+    let plan = FaultPlan::none()
+        .kill_at(1, HookKind::Tick, 1)
+        .kill_at(3, HookKind::Tick, 1);
+    let report = run(
+        4,
+        UniverseConfig::with_plan(plan).watchdog(wd()),
+        |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            if p.world_rank() == 1 || p.world_rank() == 3 {
+                let req = p.irecv(WORLD, Src::Rank(0), 9)?;
+                let _ = p.wait(req)?;
+                return Ok(());
+            }
+            loop {
+                let infos = p.comm_validate(WORLD)?;
+                if infos.len() == 2 {
+                    assert_eq!(infos[0].rank, 1);
+                    assert_eq!(infos[1].rank, 3);
+                    assert!(infos.iter().all(|i| i.state == RankState::Failed));
+                    assert!(infos.iter().all(|i| i.generation == 0));
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            // Recognize one of them: states diverge.
+            p.comm_validate_clear(WORLD, &[1])?;
+            let infos = p.comm_validate(WORLD)?;
+            assert_eq!(infos[0].state, RankState::Null);
+            assert_eq!(infos[1].state, RankState::Failed);
+            Ok(())
+        },
+    );
+    assert!(!report.hung);
+    assert!(report.outcomes[0].is_ok());
+}
+
+/// `validate_all` returns the same count everywhere ("success
+/// everywhere"), re-enables collectives, and its count accumulates
+/// over successive failures.
+#[test]
+fn validate_all_counts_accumulate() {
+    let plan = FaultPlan::none()
+        .kill_at(1, HookKind::Tick, 1)
+        .kill_at(2, HookKind::BeforeCollective, 1);
+    let report = run(
+        5,
+        UniverseConfig::with_plan(plan).watchdog(wd()),
+        |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            if p.world_rank() == 1 {
+                let req = p.irecv(WORLD, Src::Rank(0), 9)?;
+                let _ = p.wait(req)?;
+                return Ok((0, 0));
+            }
+            while p.comm_validate_rank(WORLD, 1)?.state == RankState::Ok {
+                std::thread::yield_now();
+            }
+            let first = p.comm_validate_all(WORLD)?;
+            // First collective after repair: rank 2 dies entering its
+            // second collective (the barrier below).
+            let _ = p.barrier(WORLD);
+            if p.world_rank() == 2 {
+                // Killed inside the barrier; unreachable in practice.
+                return Ok((first, 0));
+            }
+            // Repair again; the count now includes both failures.
+            while p.comm_validate_rank(WORLD, 2)?.state == RankState::Ok {
+                std::thread::yield_now();
+            }
+            let second = p.comm_validate_all(WORLD)?;
+            p.barrier(WORLD)?;
+            Ok((first, second))
+        },
+    );
+    assert!(!report.hung);
+    for r in [0usize, 3, 4] {
+        assert_eq!(
+            report.outcomes[r].as_ok(),
+            Some(&(1, 2)),
+            "rank {r}: {:?}",
+            report.outcomes[r]
+        );
+    }
+}
+
+/// `icomm_validate_all` composes with `waitany` alongside ordinary
+/// receives — the exact shape of the paper's Fig. 13 loop.
+#[test]
+fn ivalidate_composes_with_waitany() {
+    let report = run(
+        3,
+        UniverseConfig::default().watchdog(wd()),
+        |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            // A receive that never completes + the validate request.
+            let never = p.irecv(WORLD, Src::Rank((p.world_rank() + 1) % 3), 77)?;
+            let vreq = p.icomm_validate_all(WORLD)?;
+            let out = p.waitany(&[never, vreq])?;
+            assert_eq!(out.index, 1, "the validate must complete first");
+            let count = out.result.expect("validate succeeds").validate_count();
+            p.cancel(never)?;
+            Ok(count)
+        },
+    );
+    assert!(report.all_ok());
+    for o in &report.outcomes {
+        assert_eq!(o.as_ok(), Some(&0));
+    }
+}
+
+/// Leader election (Fig. 12) composes with validate semantics: after
+/// recognition, a failed rank is still never electable.
+#[test]
+fn election_and_recognition_compose() {
+    let plan = FaultPlan::none().kill_at(0, HookKind::Tick, 1);
+    let report = run(
+        4,
+        UniverseConfig::with_plan(plan).watchdog(wd()),
+        |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            if p.world_rank() == 0 {
+                let req = p.irecv(WORLD, Src::Rank(1), 9)?;
+                let _ = p.wait(req)?;
+                return Ok(0);
+            }
+            while p.comm_validate_rank(WORLD, 0)?.state == RankState::Ok {
+                std::thread::yield_now();
+            }
+            assert_eq!(consensus::current_root(p, WORLD)?, 1);
+            p.comm_validate_clear(WORLD, &[0])?;
+            assert_eq!(consensus::current_root(p, WORLD)?, 1);
+            Ok(consensus::current_root(p, WORLD)?)
+        },
+    );
+    for r in 1..4 {
+        assert_eq!(report.outcomes[r].as_ok(), Some(&1), "rank {r}");
+    }
+}
