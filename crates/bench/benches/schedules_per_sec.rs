@@ -1,0 +1,44 @@
+//! Experiment **DST throughput**: how many complete deterministic
+//! schedules the simulation harness explores per second.
+//!
+//! Each iteration runs one full seeded schedule of the hardened ring —
+//! serialize every rank through the scheduler, inject the seed-derived
+//! kills, run all applicable oracles — exactly what `dst explore` does
+//! per seed. This number bounds how much schedule space a CI budget can
+//! cover, so regressions here directly shrink bug-finding power.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dst::{check_all, run_seed, ScenarioCfg};
+
+fn bench_schedules_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedules_per_sec");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    const BATCH: u64 = 10;
+    group.throughput(Throughput::Elements(BATCH));
+
+    for ranks in [4usize, 8] {
+        let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+        group.bench_with_input(BenchmarkId::new("explore", ranks), &cfg, |b, cfg| {
+            let mut next_seed = 0u64;
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    let obs = run_seed(next_seed, cfg);
+                    next_seed += 1;
+                    let violations = check_all(&obs);
+                    assert!(violations.is_empty(), "seed violated: {violations:?}");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules_per_sec);
+criterion_main!(benches);

@@ -58,8 +58,8 @@ pub fn ring_once(
     (summarize(&report), d)
 }
 
-/// One row of an experiment table (also serializable for tooling).
-#[derive(Debug, Clone, serde::Serialize)]
+/// One row of an experiment table.
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// Experiment / figure identifier.
     pub experiment: String,

@@ -1,0 +1,208 @@
+//! `dst` — the deterministic-simulation CLI.
+//!
+//! ```text
+//! dst explore --seeds 1000 [--start 0] [--buggy] [--ranks 4] [--iters 3]
+//! dst replay  --seed 0xBEEF [--buggy] [--log]
+//! dst shrink  --seed 0xBEEF [--buggy]
+//! dst determinism --seed 0xBEEF [--buggy]
+//! ```
+//!
+//! Exit status is non-zero when an oracle violation (explore/replay),
+//! an unshrinkable failure (shrink), or a log divergence (determinism)
+//! is found, so the commands compose directly into CI.
+
+use std::process::ExitCode;
+
+use dst::{check_all, explore, run_seed, shrink, ScenarioCfg};
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    r.map_err(|_| format!("not a number: {s}"))
+}
+
+struct Args {
+    cmd: String,
+    seed: Option<u64>,
+    seeds: u64,
+    start: u64,
+    buggy: bool,
+    ranks: usize,
+    iters: u64,
+    show_log: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        cmd,
+        seed: None,
+        seeds: 100,
+        start: 0,
+        buggy: false,
+        ranks: 4,
+        iters: 3,
+        show_log: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = Some(parse_u64(&value("--seed")?)?),
+            "--seeds" => args.seeds = parse_u64(&value("--seeds")?)?,
+            "--start" => args.start = parse_u64(&value("--start")?)?,
+            "--ranks" => args.ranks = parse_u64(&value("--ranks")?)? as usize,
+            "--iters" => args.iters = parse_u64(&value("--iters")?)?,
+            "--buggy" => args.buggy = true,
+            "--log" => args.show_log = true,
+            other => return Err(format!("unknown flag: {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: dst <explore|replay|shrink|determinism> \
+     [--seed S] [--seeds N] [--start S] [--buggy] [--ranks N] [--iters N] [--log]"
+        .to_string()
+}
+
+fn cfg_of(args: &Args) -> ScenarioCfg {
+    ScenarioCfg {
+        ranks: args.ranks,
+        max_iter: args.iters,
+        buggy_dedup: args.buggy,
+        ..ScenarioCfg::default()
+    }
+}
+
+fn need_seed(args: &Args) -> Result<u64, String> {
+    args.seed.ok_or_else(|| format!("--seed is required\n{}", usage()))
+}
+
+fn cmd_explore(args: &Args) -> ExitCode {
+    let cfg = cfg_of(args);
+    let results = explore(args.start, args.seeds, &cfg);
+    let mut failing = 0u64;
+    for r in &results {
+        if !r.violations.is_empty() {
+            failing += 1;
+            println!("seed {:#x}: FAIL", r.seed);
+            for k in &r.observation.schedule.kills {
+                println!("  schedule: {k}");
+            }
+            for v in &r.violations {
+                println!("  violation: {v}");
+            }
+        }
+    }
+    println!(
+        "explored {} seeds ({} mode): {} green, {} failing",
+        results.len(),
+        if cfg.buggy_dedup { "buggy" } else { "hardened" },
+        results.len() as u64 - failing,
+        failing
+    );
+    if failing == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}
+
+fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
+    let seed = need_seed(args)?;
+    let cfg = cfg_of(args);
+    let obs = run_seed(seed, &cfg);
+    println!("seed {seed:#x} ({} ranks, {} iters)", cfg.ranks, cfg.max_iter);
+    for k in &obs.schedule.kills {
+        println!("schedule: {k}");
+    }
+    println!("delays at drain calls: {:?}", obs.delay_calls);
+    println!("hung: {}", obs.hung);
+    for (rank, o) in obs.outcomes.iter().enumerate() {
+        println!("rank {rank}: {o:?}");
+    }
+    let violations = check_all(&obs);
+    for v in &violations {
+        println!("violation: {v}");
+    }
+    if args.show_log {
+        println!("--- decision log ---");
+        print!("{}", obs.log);
+    }
+    if violations.is_empty() {
+        println!("all applicable oracles green");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_shrink(args: &Args) -> Result<ExitCode, String> {
+    let seed = need_seed(args)?;
+    let cfg = cfg_of(args);
+    match shrink(seed, &cfg, None) {
+        Some(s) => {
+            println!(
+                "seed {seed:#x}: shrunk to {} event(s) in {} runs",
+                s.events.len(),
+                s.runs
+            );
+            for ev in &s.events {
+                println!("  {ev}");
+            }
+            for v in &s.violations {
+                println!("  still violates: {v}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!("seed {seed:#x}: schedule does not fail (nothing to shrink)");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_determinism(args: &Args) -> Result<ExitCode, String> {
+    let seed = need_seed(args)?;
+    let cfg = cfg_of(args);
+    let a = run_seed(seed, &cfg);
+    let b = run_seed(seed, &cfg);
+    if a.log == b.log {
+        println!(
+            "seed {seed:#x}: two runs, byte-identical decision log ({} bytes)",
+            a.log.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("seed {seed:#x}: DIVERGED");
+        println!("--- run A ---\n{}", a.log);
+        println!("--- run B ---\n{}", b.log);
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.cmd.as_str() {
+        "explore" => Ok(cmd_explore(&args)),
+        "replay" => cmd_replay(&args),
+        "shrink" => cmd_shrink(&args),
+        "determinism" => cmd_determinism(&args),
+        other => Err(format!("unknown command: {other}\n{}", usage())),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Seed → schedule → observation.
+//!
+//! A schedule is everything that distinguishes one simulated execution
+//! from another: the PRNG seed (which fixes every scheduler decision),
+//! the kill-set (which ranks are fail-stopped, where in the protocol),
+//! and optionally an explicit delay-mask (which mailbox drains hold
+//! messages back). [`run_schedule`] executes one schedule over the
+//! fault-tolerant ring and returns an [`Observation`] — the flattened
+//! facts the [`crate::oracle`] checkers judge.
+//!
+//! Kill-sets are themselves derived from the seed
+//! ([`Schedule::from_seed`]), so the whole explored space is indexed by
+//! a single `u64`: `dst replay --seed 0xBEEF` reconstructs kills,
+//! delays, and interleaving from nothing but that number.
+
+use std::sync::Arc;
+
+use faultsim::{FaultPlan, HookKind};
+use ftmpi::{run, RankOutcome, TimedEvent, UniverseConfig, WORLD};
+use ftring::{run_ring, RingConfig, RingStats};
+
+use crate::sched::{Scheduler, SplitMix64};
+
+/// Stream salt so kill derivation never collides with the scheduler's
+/// decision stream for the same seed.
+const KILL_SALT: u64 = 0x6B69_6C6C_7365_7421;
+
+/// What the ring under test should look like.
+#[derive(Debug, Clone)]
+pub struct ScenarioCfg {
+    /// World size.
+    pub ranks: usize,
+    /// Ring iterations.
+    pub max_iter: u64,
+    /// Run the deliberately broken configuration (dedup disabled, the
+    /// paper's Fig. 8 double-completion bug) instead of the hardened
+    /// ring. Oracles that assume a correct ring are gated off.
+    pub buggy_dedup: bool,
+    /// Logical-step budget before the run is declared hung.
+    pub step_budget: u64,
+}
+
+impl Default for ScenarioCfg {
+    fn default() -> Self {
+        ScenarioCfg { ranks: 4, max_iter: 3, buggy_dedup: false, step_budget: 200_000 }
+    }
+}
+
+impl ScenarioCfg {
+    /// The ring configuration this scenario runs.
+    pub fn ring_config(&self) -> RingConfig {
+        if self.buggy_dedup {
+            // DedupStrategy::None is exactly the ring with the
+            // iteration-marker check reverted.
+            RingConfig::no_dedup(self.max_iter)
+        } else {
+            RingConfig::with_root_failover(self.max_iter)
+        }
+    }
+}
+
+/// One injected fail-stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kill {
+    /// World rank to kill.
+    pub victim: usize,
+    /// Protocol point the kill triggers at.
+    pub hook: HookKind,
+    /// Which occurrence of the hook (1-based).
+    pub occurrence: u64,
+}
+
+impl std::fmt::Display for Kill {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kill {} at {:?}#{}", self.victim, self.hook, self.occurrence)
+    }
+}
+
+/// A complete named execution: seed plus derived (or shrunk) kill-set
+/// and delay-mask.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Seed for every scheduler decision.
+    pub seed: u64,
+    /// Fail-stops to inject.
+    pub kills: Vec<Kill>,
+    /// `None`: delays fire randomly from the seed (exploration).
+    /// `Some`: exactly these drain calls delay (replay of a shrunk
+    /// schedule).
+    pub delay_mask: Option<Vec<u64>>,
+}
+
+impl Schedule {
+    /// Derive the canonical schedule for `seed` under `cfg`: the
+    /// kill-set comes from a salted stream of the same seed, delays are
+    /// left to the scheduler's own randomness.
+    pub fn from_seed(seed: u64, cfg: &ScenarioCfg) -> Self {
+        let mut rng = SplitMix64::new(seed ^ KILL_SALT);
+        let mut kills = Vec::new();
+        if cfg.buggy_dedup {
+            // The Fig. 8 bug needs a victim dying after forwarding the
+            // token so the predecessor's resend duplicates it; derive
+            // 1–2 such kills among non-root ranks.
+            let n = 1 + rng.below(2);
+            let mut victims: Vec<usize> = Vec::new();
+            while victims.len() < n && victims.len() < cfg.ranks - 1 {
+                let v = 1 + rng.below(cfg.ranks - 1);
+                if !victims.contains(&v) {
+                    victims.push(v);
+                }
+            }
+            for v in victims {
+                kills.push(Kill {
+                    victim: v,
+                    hook: HookKind::AfterSend,
+                    occurrence: 1 + rng.below(cfg.max_iter as usize) as u64,
+                });
+            }
+        } else {
+            // Hardened ring: 0–2 kills anywhere (root failover makes
+            // even rank 0 fair game).
+            let n = rng.below(3);
+            let hooks =
+                [HookKind::Tick, HookKind::AfterSend, HookKind::AfterRecvComplete];
+            let mut victims: Vec<usize> = Vec::new();
+            while victims.len() < n && victims.len() < cfg.ranks - 1 {
+                let v = rng.below(cfg.ranks);
+                if !victims.contains(&v) {
+                    victims.push(v);
+                }
+            }
+            for v in victims {
+                kills.push(Kill {
+                    victim: v,
+                    hook: hooks[rng.below(hooks.len())],
+                    occurrence: 1 + rng.below(25) as u64,
+                });
+            }
+        }
+        Schedule { seed, kills, delay_mask: None }
+    }
+}
+
+/// Simplified per-rank outcome (type-erased for the oracles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Returned ring stats normally.
+    Ok,
+    /// Fail-stopped by injection.
+    Failed,
+    /// Observed a job abort with this code.
+    Aborted(i32),
+    /// Returned a non-terminal error.
+    Err(String),
+    /// Panicked.
+    Panicked(String),
+}
+
+/// Everything the oracles can see about one executed schedule.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The schedule that was run.
+    pub schedule: Schedule,
+    /// The scenario it ran under.
+    pub cfg: ScenarioCfg,
+    /// Per-rank simplified outcomes, indexed by world rank.
+    pub outcomes: Vec<Outcome>,
+    /// Per-rank ring stats for ranks that completed.
+    pub stats: Vec<Option<RingStats>>,
+    /// Whether the run hung (logical-step budget exhausted).
+    pub hung: bool,
+    /// Whether the scheduler's own budget event fired (should track
+    /// `hung`; kept separate for cross-checking).
+    pub budget_exhausted: bool,
+    /// The protocol trace with logical-step timestamps.
+    pub trace: Vec<TimedEvent>,
+    /// The scheduler's decision log, one line per decision.
+    pub log: String,
+    /// Drain calls that delayed delivery during this run.
+    pub delay_calls: Vec<u64>,
+}
+
+impl Observation {
+    /// Ranks that finished with ring stats.
+    pub fn survivors(&self) -> impl Iterator<Item = (usize, &RingStats)> {
+        self.stats.iter().enumerate().filter_map(|(r, s)| s.as_ref().map(|s| (r, s)))
+    }
+
+    /// World ranks named in the kill-set.
+    pub fn killed(&self) -> Vec<usize> {
+        self.schedule.kills.iter().map(|k| k.victim).collect()
+    }
+}
+
+/// Execute one schedule deterministically and observe the result.
+pub fn run_schedule(schedule: &Schedule, cfg: &ScenarioCfg) -> Observation {
+    let sched = match &schedule.delay_mask {
+        Some(mask) => {
+            Arc::new(Scheduler::with_delay_mask(cfg.ranks, schedule.seed, cfg.step_budget, mask))
+        }
+        None => Arc::new(Scheduler::new(cfg.ranks, schedule.seed, cfg.step_budget)),
+    };
+    let plan = schedule
+        .kills
+        .iter()
+        .fold(FaultPlan::none(), |p, k| p.kill_at(k.victim, k.hook, k.occurrence));
+    let ucfg = UniverseConfig::with_plan(plan).traced().sim(sched.clone());
+    let ring = cfg.ring_config();
+    let report = run(cfg.ranks, ucfg, move |p| run_ring(p, WORLD, &ring));
+
+    let mut outcomes = Vec::with_capacity(report.outcomes.len());
+    let mut stats = Vec::with_capacity(report.outcomes.len());
+    for o in report.outcomes {
+        match o {
+            RankOutcome::Ok(s) => {
+                outcomes.push(Outcome::Ok);
+                stats.push(Some(s));
+            }
+            RankOutcome::Failed => {
+                outcomes.push(Outcome::Failed);
+                stats.push(None);
+            }
+            RankOutcome::Aborted { code } => {
+                outcomes.push(Outcome::Aborted(code));
+                stats.push(None);
+            }
+            RankOutcome::Err(e) => {
+                outcomes.push(Outcome::Err(e.to_string()));
+                stats.push(None);
+            }
+            RankOutcome::Panicked(m) => {
+                outcomes.push(Outcome::Panicked(m));
+                stats.push(None);
+            }
+        }
+    }
+
+    Observation {
+        schedule: schedule.clone(),
+        cfg: cfg.clone(),
+        outcomes,
+        stats,
+        hung: report.hung,
+        budget_exhausted: sched.budget_exhausted(),
+        trace: report.trace,
+        log: sched.log_text(),
+        delay_calls: sched.delay_calls(),
+    }
+}
+
+/// Convenience: derive the schedule for `seed` and run it.
+pub fn run_seed(seed: u64, cfg: &ScenarioCfg) -> Observation {
+    run_schedule(&Schedule::from_seed(seed, cfg), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_derivation_is_deterministic_and_in_range() {
+        let cfg = ScenarioCfg::default();
+        for seed in 0..50 {
+            let a = Schedule::from_seed(seed, &cfg);
+            let b = Schedule::from_seed(seed, &cfg);
+            assert_eq!(a.kills, b.kills);
+            assert!(a.kills.len() <= 2);
+            for k in &a.kills {
+                assert!(k.victim < cfg.ranks);
+                assert!(k.occurrence >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_schedules_always_kill_a_non_root() {
+        let cfg = ScenarioCfg { buggy_dedup: true, ..ScenarioCfg::default() };
+        for seed in 0..50 {
+            let s = Schedule::from_seed(seed, &cfg);
+            assert!(!s.kills.is_empty());
+            for k in &s.kills {
+                assert!(k.victim >= 1 && k.victim < cfg.ranks);
+                assert_eq!(k.hook, HookKind::AfterSend);
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The serializing, seeded scheduler (the heart of the harness).
+//!
+//! One [`Scheduler`] drives one `ftmpi` universe through the
+//! [`SchedHook`] instrumentation: every rank thread blocks inside
+//! [`SchedHook::step`] until the scheduler grants it the token, so at
+//! most one rank executes runtime actions at any instant and the whole
+//! interleaving collapses to a *sequence of decisions*. Each decision
+//! (which rank runs next, which ready request completes, which sender
+//! matches, how many queued envelopes are delivered) is drawn from a
+//! splitmix64 PRNG seeded with a single `u64` — so one seed names one
+//! complete schedule, reproducible forever, and the decision log it
+//! leaves behind is byte-identical across runs.
+//!
+//! ### Dispatch protocol
+//!
+//! * Registered ranks start as `{0..n}`; a rank leaves the set on
+//!   [`SchedHook::on_exit`].
+//! * A rank arriving at a step point parks in `waiting`. When *every*
+//!   registered rank is parked (nobody is running), the scheduler picks
+//!   one at random, logs `grant`, and wakes it.
+//! * The number of grants is the **logical clock**. When it exceeds the
+//!   step budget the run is aborted — the deterministic replacement for
+//!   a wall-clock hang watchdog: a distributed hang is just a schedule
+//!   that keeps granting without anyone exiting.
+//!
+//! ### Delays
+//!
+//! A mailbox drain with `q` queued envelopes asks for a choice among
+//! `q + 1` alternatives; answering `k < q` delivers only the first `k`
+//! and *delays* the rest (per-pair FIFO is preserved because only a
+//! prefix is taken). In exploration mode delays fire randomly; in
+//! shrink mode an explicit [`Scheduler::with_delay_mask`] pins exactly
+//! which drain calls may delay, which is what makes the delay-set a
+//! first-class, minimizable part of a failure schedule.
+//!
+//! ### Limitation
+//!
+//! Serialization requires every blocking path to funnel through a
+//! scheduling point. All `ftmpi` library blocking does (`wait_loop`);
+//! application closures that spin on `yield_now` without calling the
+//! runtime would wedge the simulation and must not be used under it.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use faultsim::{ChoiceKind, Rank, SchedHook, SchedPoint, StepOutcome};
+
+/// Deterministic splitmix64 stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// One recorded scheduler decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// `rank` was granted the execution token.
+    Grant {
+        /// The granted rank.
+        rank: Rank,
+    },
+    /// An `n`-way choice by `rank` was answered with `pick`.
+    Choice {
+        /// The choosing rank.
+        rank: Rank,
+        /// What kind of decision this was.
+        kind: ChoiceKind,
+        /// Number of alternatives.
+        n: usize,
+        /// The chosen alternative.
+        pick: usize,
+        /// For [`ChoiceKind::Drain`]: the global drain-call index (the
+        /// handle the delay mask keys on).
+        call: Option<u64>,
+    },
+    /// `victim` was fail-stopped.
+    Kill {
+        /// The killed rank.
+        victim: Rank,
+    },
+    /// `rank`'s thread left the universe.
+    Exit {
+        /// The departing rank.
+        rank: Rank,
+    },
+    /// The step budget ran out: logical hang watchdog fired.
+    Budget,
+}
+
+impl std::fmt::Display for SchedEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedEvent::Grant { rank } => write!(f, "grant {rank}"),
+            SchedEvent::Choice { rank, kind, n, pick, call } => {
+                let kind = match kind {
+                    ChoiceKind::WaitAny => "waitany",
+                    ChoiceKind::AnySource => "anysource",
+                    ChoiceKind::Drain => "drain",
+                };
+                write!(f, "choice {rank} {kind} {pick}/{n}")?;
+                if let Some(c) = call {
+                    write!(f, " call={c}")?;
+                }
+                Ok(())
+            }
+            SchedEvent::Kill { victim } => write!(f, "kill {victim}"),
+            SchedEvent::Exit { rank } => write!(f, "exit {rank}"),
+            SchedEvent::Budget => write!(f, "budget-exhausted"),
+        }
+    }
+}
+
+/// Out of 16: how often a drain call delays in exploration mode.
+const DELAY_WEIGHT: u64 = 4;
+
+struct Inner {
+    /// Ranks whose threads are still inside the universe.
+    registered: BTreeSet<Rank>,
+    /// Registered ranks currently parked at a step point.
+    waiting: BTreeSet<Rank>,
+    /// The rank holding the execution token, if any.
+    running: Option<Rank>,
+    /// Grant and waitany/anysource decisions. Kept separate from the
+    /// delay streams so installing a delay mask (which suppresses the
+    /// delay-decision draws) cannot shift scheduling decisions — masked
+    /// replay of the full delay-set must reproduce the exploration run
+    /// exactly, or shrinking would be unsound.
+    rng: SplitMix64,
+    /// Exploration-mode "should this drain delay?" decisions.
+    rng_delay: SplitMix64,
+    /// "How much of the queue to withhold" draws for delaying drains.
+    rng_amount: SplitMix64,
+    steps: u64,
+    aborted: bool,
+    log: Vec<SchedEvent>,
+    /// Global drain-call counter (handle for the delay mask).
+    drain_calls: u64,
+    /// Drain calls that delayed (pick < queue length).
+    delays: Vec<u64>,
+    /// Shrink mode: exactly these drain calls may delay.
+    delay_mask: Option<BTreeSet<u64>>,
+}
+
+/// The serializing scheduler. Construct, wrap in an `Arc`, and pass to
+/// [`ftmpi::UniverseConfig::sim`].
+pub struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: std::sync::Condvar,
+    budget: u64,
+}
+
+impl Scheduler {
+    /// Exploration-mode scheduler for `n` ranks: every decision drawn
+    /// from `seed`, hang declared after `budget` grants.
+    pub fn new(n: usize, seed: u64, budget: u64) -> Self {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                registered: (0..n).collect(),
+                waiting: BTreeSet::new(),
+                running: None,
+                rng: SplitMix64::new(seed),
+                rng_delay: SplitMix64::new(seed ^ 0x64656C_61797321),
+                rng_amount: SplitMix64::new(seed ^ 0x616D6F_756E7421),
+                steps: 0,
+                aborted: false,
+                log: Vec::new(),
+                drain_calls: 0,
+                delays: Vec::new(),
+                delay_mask: None,
+            }),
+            cv: std::sync::Condvar::new(),
+            budget,
+        }
+    }
+
+    /// Shrink-mode scheduler: drain calls whose index is in `mask` are
+    /// forced to delay, every other drain delivers in full. Grant and
+    /// waitany/anysource decisions still come from `seed`.
+    pub fn with_delay_mask(n: usize, seed: u64, budget: u64, mask: &[u64]) -> Self {
+        let s = Scheduler::new(n, seed, budget);
+        s.inner.lock().unwrap().delay_mask = Some(mask.iter().copied().collect());
+        s
+    }
+
+    /// The decision log so far, one event per line — byte-identical for
+    /// identical `(seed, kills, mask)` inputs.
+    pub fn log_text(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (i, ev) in inner.log.iter().enumerate() {
+            out.push_str(&format!("{i:06} {ev}\n"));
+        }
+        out
+    }
+
+    /// The recorded decisions.
+    pub fn events(&self) -> Vec<SchedEvent> {
+        self.inner.lock().unwrap().log.clone()
+    }
+
+    /// Drain-call indices that delayed delivery (the schedule's
+    /// delay-set, the shrinker's second dimension).
+    pub fn delay_calls(&self) -> Vec<u64> {
+        self.inner.lock().unwrap().delays.clone()
+    }
+
+    /// Whether the logical-step watchdog fired.
+    pub fn budget_exhausted(&self) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.log.iter().any(|e| matches!(e, SchedEvent::Budget))
+    }
+
+    /// Grants issued so far (the logical clock).
+    pub fn steps(&self) -> u64 {
+        self.inner.lock().unwrap().steps
+    }
+
+    /// Grant the token to a random parked rank if everyone registered
+    /// is parked. Must be called with the lock held; notifies on any
+    /// state change.
+    fn try_dispatch(&self, inner: &mut Inner) {
+        if inner.aborted || inner.running.is_some() || inner.waiting.is_empty() {
+            return;
+        }
+        if inner.waiting.len() != inner.registered.len() {
+            return; // somebody is still running toward a step point
+        }
+        inner.steps += 1;
+        if inner.steps > self.budget {
+            inner.aborted = true;
+            inner.log.push(SchedEvent::Budget);
+            self.cv.notify_all();
+            return;
+        }
+        let idx = inner.rng.below(inner.waiting.len());
+        let rank = *inner.waiting.iter().nth(idx).expect("index in range");
+        inner.waiting.remove(&rank);
+        inner.running = Some(rank);
+        inner.log.push(SchedEvent::Grant { rank });
+        self.cv.notify_all();
+    }
+}
+
+impl SchedHook for Scheduler {
+    fn step(&self, rank: Rank, _point: SchedPoint) -> StepOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.running == Some(rank) {
+            inner.running = None;
+        }
+        inner.waiting.insert(rank);
+        self.try_dispatch(&mut inner);
+        loop {
+            if inner.aborted {
+                // Leave the waiting set so a concurrent accounting pass
+                // never sees a phantom parked rank.
+                inner.waiting.remove(&rank);
+                return StepOutcome::Abort;
+            }
+            if inner.running == Some(rank) {
+                return StepOutcome::Run;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    fn choose(&self, rank: Rank, kind: ChoiceKind, n: usize) -> usize {
+        assert!(n >= 1, "a choice needs at least one alternative");
+        let mut inner = self.inner.lock().unwrap();
+        let (pick, call) = match kind {
+            ChoiceKind::Drain => {
+                let call = inner.drain_calls;
+                inner.drain_calls += 1;
+                // `n` alternatives = queue length q + 1; q is the
+                // full-delivery answer.
+                let q = n - 1;
+                let delay = match &inner.delay_mask {
+                    Some(mask) => mask.contains(&call),
+                    None => q > 0 && inner.rng_delay.next_u64() % 16 < DELAY_WEIGHT,
+                };
+                let pick = if delay && q > 0 { inner.rng_amount.below(q) } else { q };
+                if pick < q {
+                    inner.delays.push(call);
+                }
+                (pick, Some(call))
+            }
+            ChoiceKind::WaitAny | ChoiceKind::AnySource => (inner.rng.below(n), None),
+        };
+        inner.log.push(SchedEvent::Choice { rank, kind, n, pick, call });
+        pick
+    }
+
+    fn on_exit(&self, rank: Rank) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.registered.remove(&rank);
+        inner.waiting.remove(&rank);
+        if inner.running == Some(rank) {
+            inner.running = None;
+        }
+        inner.log.push(SchedEvent::Exit { rank });
+        self.try_dispatch(&mut inner);
+        self.cv.notify_all();
+    }
+
+    fn on_kill(&self, victim: Rank) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.log.push(SchedEvent::Kill { victim });
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.lock().unwrap().steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn serializes_two_threads_and_logs_grants() {
+        let sched = Arc::new(Scheduler::new(2, 42, 1000));
+        let mut handles = Vec::new();
+        for me in 0..2 {
+            let s = Arc::clone(&sched);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    assert_eq!(s.step(me, SchedPoint::Tick), StepOutcome::Run);
+                }
+                s.on_exit(me);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let grants = sched
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::Grant { .. }))
+            .count();
+        assert_eq!(grants, 20);
+        assert!(!sched.budget_exhausted());
+    }
+
+    #[test]
+    fn budget_exhaustion_aborts_every_rank() {
+        let sched = Arc::new(Scheduler::new(2, 1, 25));
+        let mut handles = Vec::new();
+        for me in 0..2 {
+            let s = Arc::clone(&sched);
+            handles.push(std::thread::spawn(move || {
+                // Spin until the budget fires, like a hung wait loop.
+                while s.step(me, SchedPoint::Tick) == StepOutcome::Run {}
+                s.on_exit(me);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(sched.budget_exhausted());
+        assert!(sched.steps() > 25);
+    }
+
+    #[test]
+    fn delay_mask_forces_exact_delays() {
+        let sched = Scheduler::with_delay_mask(1, 9, 100, &[1]);
+        // Drain call 0: full delivery of a 3-long queue (4 options).
+        assert_eq!(sched.choose(0, ChoiceKind::Drain, 4), 3);
+        // Drain call 1: masked in, must delay (pick < 3).
+        assert!(sched.choose(0, ChoiceKind::Drain, 4) < 3);
+        // Drain call 2: full again.
+        assert_eq!(sched.choose(0, ChoiceKind::Drain, 4), 3);
+        assert_eq!(sched.delay_calls(), vec![1]);
+    }
+
+    #[test]
+    fn log_text_is_stable_across_reads() {
+        let sched = Scheduler::new(1, 3, 100);
+        sched.choose(0, ChoiceKind::WaitAny, 2);
+        sched.on_kill(0);
+        assert_eq!(sched.log_text(), sched.log_text());
+        assert!(sched.log_text().contains("kill 0"));
+    }
+}

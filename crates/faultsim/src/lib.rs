@@ -26,12 +26,14 @@ pub mod injector;
 pub mod plan;
 pub mod random;
 pub mod scenario;
+pub mod sched;
 pub mod schedule;
 pub mod trigger;
 
 pub use injector::{Decision, Injector};
 pub use plan::{FaultAction, FaultPlan, FaultRule};
 pub use random::{RandomFaults, RandomFaultsBuilder};
+pub use sched::{ChoiceKind, SchedHook, SchedPoint, StepOutcome};
 pub use schedule::{AsyncSchedule, KillHandle};
 pub use trigger::{Hook, HookKind, PeerMatch, TagMatch, Trigger};
 

@@ -1,0 +1,135 @@
+//! Scheduler instrumentation for deterministic simulation testing.
+//!
+//! The `ftmpi` runtime runs each rank on an OS thread; which rank makes
+//! progress next is normally decided by the kernel scheduler, so a
+//! buggy interleaving reproduces only by luck. A [`SchedHook`] turns
+//! those decisions into explicit calls the runtime makes at every
+//! *scheduling point*, letting a harness (the `dst` crate) serialize
+//! the ranks and drive every decision from a seeded PRNG — the
+//! FoundationDB-style simulation approach: one `u64` seed names one
+//! complete interleaving, reproducible forever.
+//!
+//! The runtime's side of the contract:
+//!
+//! * Every rank calls [`SchedHook::step`] when it enters the universe
+//!   ([`SchedPoint::Enter`]), at the top of every wait-loop pass
+//!   ([`SchedPoint::Tick`]), and before every send
+//!   ([`SchedPoint::Send`]). The call may **block** — that is the
+//!   mechanism by which a serializing scheduler admits one rank at a
+//!   time. A [`StepOutcome::Abort`] return tells the rank the logical
+//!   step budget is exhausted (the deterministic replacement for a
+//!   wall-clock hang watchdog) and it must abort the job.
+//! * Every nondeterministic *choice* with `n` alternatives is routed
+//!   through [`SchedHook::choose`]: which ready request `waitany`
+//!   picks, which sender an `ANY_SOURCE` receive matches, and how many
+//!   queued envelopes a mailbox drain delivers (delaying the rest).
+//! * [`SchedHook::on_exit`] is called exactly once per rank thread when
+//!   it leaves the universe (normal return, failure, or panic), so the
+//!   scheduler never waits for a rank that is gone.
+//! * [`SchedHook::on_kill`] reports fail-stop transitions for the
+//!   harness's event log.
+//! * [`SchedHook::now`] is a logical clock; the runtime uses it to
+//!   timestamp trace events so two runs of the same schedule produce
+//!   byte-identical logs.
+//!
+//! When no hook is installed the runtime behaves exactly as before:
+//! every instrumentation site is a no-op on the `None` path.
+
+use crate::{Rank, Tag};
+
+/// Where in the runtime a blocking scheduling point sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPoint {
+    /// Rank thread entered the universe, before user code runs.
+    Enter,
+    /// Top of a wait-loop pass (the single blocking funnel).
+    Tick,
+    /// Immediately before handing a message to the transport.
+    Send {
+        /// Destination world rank.
+        dst: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+}
+
+/// Which nondeterministic choice is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceKind {
+    /// `waitany` with several requests ready: pick which completes.
+    WaitAny,
+    /// `ANY_SOURCE` receive with several candidate senders: pick one.
+    AnySource,
+    /// Mailbox drain with `n` queued envelopes: the chooser is called
+    /// with `n + 1` alternatives and the result `k` delivers the first
+    /// `k` envelopes now, delaying the rest.
+    Drain,
+}
+
+/// Verdict of a [`SchedHook::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Proceed.
+    Run,
+    /// Logical step budget exhausted: abort the job (deterministic
+    /// hang detection).
+    Abort,
+}
+
+/// Scheduling decisions driven by a test harness. See the module docs
+/// for the runtime's calling contract.
+pub trait SchedHook: Send + Sync {
+    /// Blocking scheduling point; returns when `rank` may proceed.
+    fn step(&self, rank: Rank, point: SchedPoint) -> StepOutcome;
+
+    /// Resolve an `n`-way choice (`n >= 1` for [`ChoiceKind::WaitAny`]
+    /// and [`ChoiceKind::AnySource`], `n >= 2` for
+    /// [`ChoiceKind::Drain`]). Must return a value in `0..n`.
+    fn choose(&self, rank: Rank, kind: ChoiceKind, n: usize) -> usize;
+
+    /// `rank`'s thread is leaving the universe; it will make no further
+    /// `step`/`choose` calls.
+    fn on_exit(&self, rank: Rank);
+
+    /// `victim` was fail-stopped (for the harness event log).
+    fn on_kill(&self, _victim: Rank) {}
+
+    /// Logical time for deterministic trace timestamps.
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A trivially conforming hook: everything proceeds, choice 0.
+    struct PassThrough {
+        steps: AtomicUsize,
+    }
+
+    impl SchedHook for PassThrough {
+        fn step(&self, _rank: Rank, _point: SchedPoint) -> StepOutcome {
+            self.steps.fetch_add(1, Ordering::Relaxed);
+            StepOutcome::Run
+        }
+        fn choose(&self, _rank: Rank, _kind: ChoiceKind, n: usize) -> usize {
+            assert!(n >= 1);
+            0
+        }
+        fn on_exit(&self, _rank: Rank) {}
+    }
+
+    #[test]
+    fn object_safety_and_defaults() {
+        let hook: std::sync::Arc<dyn SchedHook> =
+            std::sync::Arc::new(PassThrough { steps: AtomicUsize::new(0) });
+        assert_eq!(hook.step(0, SchedPoint::Tick), StepOutcome::Run);
+        assert_eq!(hook.step(1, SchedPoint::Send { dst: 0, tag: 7 }), StepOutcome::Run);
+        assert_eq!(hook.choose(0, ChoiceKind::Drain, 3), 0);
+        hook.on_kill(2);
+        assert_eq!(hook.now(), 0);
+    }
+}

@@ -65,6 +65,16 @@ fn completion_for(env: Envelope) -> crate::error::Result<Completion> {
     }
 }
 
+/// Identity of an envelope consumed from the unexpected queue (for
+/// tracing the match).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TakenMeta {
+    pub src: CommRank,
+    pub context: ContextId,
+    pub tag: crate::tag::Tag,
+    pub seq: u64,
+}
+
 /// Per-process matching state.
 #[derive(Default)]
 pub(crate) struct MatchEngine {
@@ -96,13 +106,42 @@ impl MatchEngine {
     /// message matches, it is removed and the completion returned;
     /// otherwise the caller must insert a pending request and register
     /// it via [`MatchEngine::register`].
+    #[allow(dead_code)] // convenience form, exercised by unit tests
     pub(crate) fn take_unexpected(
         &mut self,
         spec: &MatchSpec,
     ) -> Option<crate::error::Result<Completion>> {
-        let pos = self.unexpected.iter().position(|env| spec.matches(env))?;
+        self.take_unexpected_with(spec, |_| 0).map(|(result, _)| result)
+    }
+
+    /// [`MatchEngine::take_unexpected`] with the sender choice exposed:
+    /// when several senders have a matching message queued, `pick(n)`
+    /// selects among the *earliest matching envelope of each sender*.
+    /// Restricting candidates to per-sender heads is what keeps the
+    /// choice MPI-legal — `ANY_SOURCE` may pick any sender, but within
+    /// one sender matching must stay in arrival order (non-overtaking).
+    pub(crate) fn take_unexpected_with(
+        &mut self,
+        spec: &MatchSpec,
+        pick: impl FnOnce(usize) -> usize,
+    ) -> Option<(crate::error::Result<Completion>, TakenMeta)> {
+        let mut firsts: Vec<usize> = Vec::new();
+        let mut seen: Vec<CommRank> = Vec::new();
+        for (pos, env) in self.unexpected.iter().enumerate() {
+            if spec.matches(env) && !seen.contains(&env.src_comm) {
+                seen.push(env.src_comm);
+                firsts.push(pos);
+            }
+        }
+        let pos = match firsts.len() {
+            0 => return None,
+            1 => firsts[0],
+            n => firsts[pick(n).min(n - 1)],
+        };
         let env = self.unexpected.remove(pos).expect("position valid");
-        Some(completion_for(env))
+        let meta =
+            TakenMeta { src: env.src_comm, context: env.context, tag: env.tag, seq: env.seq };
+        Some((completion_for(env), meta))
     }
 
     /// Register a pending receive in post order.

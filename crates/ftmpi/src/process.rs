@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use faultsim::{Decision, Hook, HookKind};
+use faultsim::{ChoiceKind, Decision, Hook, HookKind, SchedPoint, StepOutcome};
 
 use crate::comm::{Comm, CommData, WORLD};
 use crate::datatype::Datatype;
@@ -175,6 +175,20 @@ impl Process {
         self.shared.registry.check_alive(self.me, self.gen)
     }
 
+    /// Blocking scheduling point for deterministic simulation. A no-op
+    /// without a scheduler; with one, may block until this rank is
+    /// granted, and converts a exhausted step budget into a job abort
+    /// (the logical-step replacement for the wall-clock watchdog).
+    fn sched_step(&mut self, point: SchedPoint) -> Result<()> {
+        if let Some(s) = &self.shared.sched {
+            if s.step(self.me, point) == StepOutcome::Abort {
+                self.shared.abort(crate::universe::WATCHDOG_ABORT_CODE);
+                return Err(Error::Aborted { code: crate::universe::WATCHDOG_ABORT_CODE });
+            }
+        }
+        Ok(())
+    }
+
     /// Consult the fault injector at a protocol point.
     pub(crate) fn hook(&mut self, h: Hook) -> Result<()> {
         match self.shared.injector.observe(self.me, &h) {
@@ -232,13 +246,25 @@ impl Process {
 
     fn progress(&mut self) -> Result<()> {
         self.ensure_alive()?;
-        let (msgs, _) = self.shared.fabric.drain(self.me);
+        let (msgs, _) = match &self.shared.sched {
+            Some(s) => {
+                // Delivery becomes a scheduler decision: draining only a
+                // prefix models message delay without breaking FIFO.
+                let (s, me) = (Arc::clone(s), self.me);
+                self.shared
+                    .fabric
+                    .drain_with(me, |n| s.choose(me, ChoiceKind::Drain, n + 1))
+            }
+            None => self.shared.fabric.drain(self.me),
+        };
         let tracing = self.shared.trace.enabled();
         for env in msgs {
-            let (src, ctx, tag) = (env.src_comm, env.context, env.tag);
+            let (src, ctx, tag, seq) = (env.src_comm, env.context, env.tag, env.seq);
             let matched = self.engine.ingest(&mut self.reqs, env);
             if tracing && matched.is_some() {
-                self.shared.trace.record(Event::RecvMatch { dst: self.me, src, context: ctx, tag });
+                self.shared
+                    .trace
+                    .record(Event::RecvMatch { dst: self.me, src, context: ctx, tag, seq });
             }
         }
         self.failure_scan();
@@ -369,6 +395,7 @@ impl Process {
         mut check: impl FnMut(&mut Self) -> Result<Option<R>>,
     ) -> Result<R> {
         loop {
+            self.sched_step(SchedPoint::Tick)?;
             self.hook(Hook::bare(HookKind::Tick))?;
             let epoch = self.shared.registry.epoch();
             let token = self.shared.fabric.token(self.me, epoch);
@@ -376,8 +403,13 @@ impl Process {
             if let Some(r) = check(self)? {
                 return Ok(r);
             }
-            let shared = Arc::clone(&self.shared);
-            shared.fabric.park(self.me, token, || shared.registry.epoch());
+            // Under a simulation scheduler, blocking happens inside
+            // sched_step (the scheduler runs us only when runnable), so
+            // parking here would deadlock the serialized schedule.
+            if self.shared.sched.is_none() {
+                let shared = Arc::clone(&self.shared);
+                shared.fabric.park(self.me, token, || shared.registry.epoch());
+            }
         }
     }
 
@@ -403,6 +435,7 @@ impl Process {
                 .ok_or(Error::InvalidRank { rank: dst as isize })?;
             (c.ctx, c.my_rank, world, c.state_of(dst, &self.shared.registry))
         };
+        self.sched_step(SchedPoint::Send { dst: world_dst, tag })?;
         self.hook(Hook::send(HookKind::BeforeSend, world_dst, tag))?;
         match state {
             RankState::Null if !system => return Ok(()), // PROC_NULL drop
@@ -474,7 +507,24 @@ impl Process {
     }
 
     fn post_recv(&mut self, spec: MatchSpec) -> Request {
-        if let Some(result) = self.engine.take_unexpected(&spec) {
+        let sched = self.shared.sched.clone();
+        let me = self.me;
+        let taken = self.engine.take_unexpected_with(&spec, |n| match &sched {
+            // Which sender an ANY_SOURCE receive matches is a scheduler
+            // decision (per-sender order stays fixed — non-overtaking).
+            Some(s) => s.choose(me, ChoiceKind::AnySource, n),
+            None => 0,
+        });
+        if let Some((result, meta)) = taken {
+            if self.shared.trace.enabled() {
+                self.shared.trace.record(Event::RecvMatch {
+                    dst: self.me,
+                    src: meta.src,
+                    context: meta.context,
+                    tag: meta.tag,
+                    seq: meta.seq,
+                });
+            }
             return self.reqs.insert(ReqBody::Recv(spec), ReqState::Done(result));
         }
         let req = self.reqs.insert(ReqBody::Recv(spec), ReqState::Pending);
@@ -645,12 +695,26 @@ impl Process {
     pub fn waitany(&mut self, reqs: &[Request]) -> Result<WaitAny> {
         assert!(!reqs.is_empty(), "waitany needs at least one request");
         let index = self.wait_loop(move |p| {
+            let mut ready = Vec::new();
             for (i, r) in reqs.iter().enumerate() {
                 if p.reqs.is_done(*r)? {
-                    return Ok(Some(i));
+                    ready.push(i);
                 }
             }
-            Ok(None)
+            Ok(match ready.len() {
+                0 => None,
+                1 => Some(ready[0]),
+                // Several ready at once: which one "completed first" is
+                // a scheduler decision (choice 0 without a scheduler,
+                // matching the historical lowest-index behaviour).
+                n => {
+                    let pick = match &p.shared.sched {
+                        Some(s) => s.choose(p.me, ChoiceKind::WaitAny, n).min(n - 1),
+                        None => 0,
+                    };
+                    Some(ready[pick])
+                }
+            })
         })?;
         let result = self.consume(reqs[index]);
         match result {

@@ -41,6 +41,9 @@ pub enum Event {
         context: ContextId,
         /// Message tag.
         tag: Tag,
+        /// Per-(sender, receiver) send sequence number of the matched
+        /// message; lets checkers assert non-overtaking from the trace.
+        seq: u64,
     },
     /// A posted receive at `rank` completed in error because `peer`
     /// failed (the Irecv-as-failure-detector firing).
@@ -103,17 +106,30 @@ pub struct TimedEvent {
     pub event: Event,
 }
 
+/// Timestamp source for a trace.
+type Clock = std::sync::Arc<dyn Fn() -> u64 + Send + Sync>;
+
 /// Shared trace sink.
 pub struct Trace {
     enabled: AtomicBool,
     start: Instant,
+    /// Logical clock override. With a clock installed, `at_us` holds
+    /// logical time instead of wall-clock microseconds, so identical
+    /// schedules produce byte-identical traces (deterministic
+    /// simulation needs this; see the `dst` crate).
+    clock: Mutex<Option<Clock>>,
     events: Mutex<Vec<TimedEvent>>,
 }
 
 impl Trace {
     /// A trace sink; records only if `enabled`.
     pub fn new(enabled: bool) -> Self {
-        Trace { enabled: AtomicBool::new(enabled), start: Instant::now(), events: Mutex::new(Vec::new()) }
+        Trace {
+            enabled: AtomicBool::new(enabled),
+            start: Instant::now(),
+            clock: Mutex::new(None),
+            events: Mutex::new(Vec::new()),
+        }
     }
 
     /// Whether recording is on.
@@ -121,12 +137,21 @@ impl Trace {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Install a logical clock; timestamps become `clock()` instead of
+    /// elapsed wall-clock microseconds.
+    pub fn set_clock(&self, clock: Clock) {
+        *self.clock.lock() = Some(clock);
+    }
+
     /// Record an event (no-op when disabled).
     pub fn record(&self, event: Event) {
         if !self.enabled() {
             return;
         }
-        let at_us = self.start.elapsed().as_micros() as u64;
+        let at_us = match &*self.clock.lock() {
+            Some(clock) => clock(),
+            None => self.start.elapsed().as_micros() as u64,
+        };
         self.events.lock().push(TimedEvent { at_us, event });
     }
 

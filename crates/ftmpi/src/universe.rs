@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use faultsim::{AsyncSchedule, FaultPlan, Injector, KillHandle};
+use faultsim::{AsyncSchedule, FaultPlan, Injector, KillHandle, SchedHook, SchedPoint, StepOutcome};
 
 use crate::coord::CommBoard;
 use crate::detector::FailureRegistry;
@@ -41,6 +41,9 @@ pub(crate) struct Shared {
     pub vboard: ValidateBoard,
     pub bboard: BarrierBoard,
     pub trace: Arc<Trace>,
+    /// Deterministic-simulation scheduler, if this universe is driven
+    /// by one (see `faultsim::sched` and the `dst` crate).
+    pub sched: Option<Arc<dyn SchedHook>>,
 }
 
 impl Shared {
@@ -48,6 +51,9 @@ impl Shared {
     pub(crate) fn kill(&self, rank: WorldRank) {
         if self.registry.kill(rank) {
             self.trace.record(Event::Killed { rank });
+            if let Some(s) = &self.sched {
+                s.on_kill(rank);
+            }
             self.fabric.wake_all();
         }
     }
@@ -90,6 +96,13 @@ pub struct UniverseConfig {
     /// point-to-point protocols like the task farm, not rings or
     /// in-flight collectives/validates).
     pub respawn: Option<RespawnPolicy>,
+    /// Deterministic-simulation scheduler. When set, the runtime
+    /// serializes every rank through the hook's scheduling points and
+    /// routes every nondeterministic choice through it; the wall-clock
+    /// `watchdog` is normally replaced by the hook's logical step
+    /// budget. Incompatible with `schedule` (wall-clock kills) and
+    /// `respawn`.
+    pub sched: Option<Arc<dyn SchedHook>>,
 }
 
 /// How failed ranks are brought back (recovery extension).
@@ -128,6 +141,13 @@ impl UniverseConfig {
     /// Builder-style: enable the recovery extension.
     pub fn respawning(mut self, policy: RespawnPolicy) -> Self {
         self.respawn = Some(policy);
+        self
+    }
+
+    /// Builder-style: drive the run from a deterministic-simulation
+    /// scheduler.
+    pub fn sim(mut self, hook: Arc<dyn SchedHook>) -> Self {
+        self.sched = Some(hook);
         self
     }
 }
@@ -184,6 +204,13 @@ where
     F: Fn(&mut Process) -> Result<T> + Send + Sync,
 {
     assert!(n >= 1, "universe needs at least one rank");
+    if cfg.sched.is_some() {
+        assert!(
+            cfg.schedule.is_none() && cfg.respawn.is_none(),
+            "a deterministic-simulation scheduler is incompatible with \
+             wall-clock kill schedules and the respawn extension"
+        );
+    }
     let shared = Arc::new(Shared {
         size: n,
         fabric: crate::transport::Fabric::new(n),
@@ -193,7 +220,14 @@ where
         vboard: ValidateBoard::new(),
         bboard: BarrierBoard::new(),
         trace: Arc::new(Trace::new(cfg.trace)),
+        sched: cfg.sched,
     });
+    if let Some(s) = &shared.sched {
+        // Deterministic timestamps: trace events carry the scheduler's
+        // logical clock instead of wall-clock microseconds.
+        let clock = Arc::clone(s);
+        shared.trace.set_clock(Arc::new(move || clock.now()));
+    }
 
     // Asynchronous kill schedule, if any.
     let schedule_handle = cfg.schedule.map(|s| {
@@ -222,8 +256,21 @@ where
             let outcomes = &outcomes;
             let done = &done;
             scope.spawn(move || {
+                if let Some(s) = &shared.sched {
+                    // First scheduling point: ranks start serialized,
+                    // not in racy spawn order.
+                    if s.step(me, SchedPoint::Enter) == StepOutcome::Abort {
+                        shared.abort(WATCHDOG_ABORT_CODE);
+                    }
+                }
+                let sched = shared.sched.clone();
                 let mut proc = Process::new(me, gen, shared);
                 let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut proc)));
+                if let Some(s) = &sched {
+                    // The thread is done scheduling-wise whatever the
+                    // outcome (including panics): release the scheduler.
+                    s.on_exit(me);
+                }
                 let outcome = match res {
                     Ok(Ok(v)) => RankOutcome::Ok(v),
                     Ok(Err(Error::SelfFailed)) => RankOutcome::Failed,
@@ -306,6 +353,11 @@ where
         h.join();
     }
 
+    // A logical-step watchdog (simulation scheduler budget) aborts with
+    // the same code as the wall-clock one; report it as a hang too.
+    if shared.registry.aborted() == Some(WATCHDOG_ABORT_CODE) {
+        hung = true;
+    }
     let generations = (0..n).map(|r| shared.registry.generation(r)).collect();
     let outcomes = outcomes
         .into_inner()

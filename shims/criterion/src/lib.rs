@@ -1,0 +1,219 @@
+//! Offline shim: the subset of `criterion` this workspace's benches
+//! use. No statistics, plots or baselines — each benchmark runs a
+//! brief warm-up, then measures `sample_size` samples (bounded by
+//! `measurement_time`) and prints min/mean timings to stdout. The
+//! point is that `cargo bench` builds and produces comparable numbers
+//! in a container with no crates.io access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_name/param`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Work performed per sample, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each sample processes this many items.
+    Elements(u64),
+    /// Each sample processes this many bytes.
+    Bytes(u64),
+}
+
+/// Runs the closure under measurement. One `iter` call per sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// A named set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let _ = &self.criterion; // reserved for global config
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size + 1) };
+
+        // Warm-up: at least one run, then keep going until the warm-up
+        // budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        b.samples.clear();
+
+        let measure_start = Instant::now();
+        while b.samples.len() < self.sample_size {
+            f(&mut b);
+            // Respect the time budget once at least one sample exists.
+            if measure_start.elapsed() >= self.measurement_time && !b.samples.is_empty() {
+                break;
+            }
+        }
+
+        let n = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let mean = total / n as u32;
+        let rate = self.throughput.map(|t| {
+            let (per_sample, unit) = match t {
+                Throughput::Elements(e) => (e as f64, "elem/s"),
+                Throughput::Bytes(by) => (by as f64, "B/s"),
+            };
+            format!(", {:.1} {}", per_sample / mean.as_secs_f64(), unit)
+        });
+        println!(
+            "{}/{}: mean {:?}, min {:?} ({} samples{})",
+            self.name,
+            id,
+            mean,
+            min,
+            b.samples.len(),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(200));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &2u32, |b, &two| {
+            b.iter(|| {
+                runs += 1;
+                two * 2
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "warm-up plus three samples, got {runs}");
+    }
+}

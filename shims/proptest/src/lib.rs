@@ -1,0 +1,471 @@
+//! Offline shim: the subset of `proptest` this workspace uses. Random
+//! cases are generated from a seed derived from the test name, so every
+//! run explores the same inputs (reproducible CI). Shrinking is not
+//! implemented — `max_shrink_iters` is accepted and ignored; a failing
+//! case prints its exact inputs instead, which together with the
+//! deterministic seeding is enough to reproduce and debug.
+
+pub mod test_runner {
+    /// Error a test case returns: a real failure or a rejected sample
+    /// (`prop_assume!` not satisfied — resampled, not counted).
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The subset of proptest's config the workspace sets.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Accepted for API compatibility; this shim does not shrink.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+        }
+    }
+
+    /// Deterministic splitmix64 stream used to generate case inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the test name so each test has a stable but
+        /// distinct input sequence; `attempt` covers both the case
+        /// index and resampling after rejects.
+        pub fn for_case(test_name: &str, attempt: u64) -> Self {
+            // FNV-1a over the name, then mix in the attempt.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Abort after this many consecutive rejects for one case slot:
+    /// the assumption is unsatisfiable in practice.
+    pub const MAX_REJECTS_PER_CASE: u64 = 4096;
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy: Sized {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let width = (self.end as i128) - (self.start as i128);
+                    let v = (rng.next_u64() as i128).rem_euclid(width);
+                    ((self.start as i128) + v) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let width = (hi as i128) - (lo as i128) + 1;
+                    let v = (rng.next_u64() as i128).rem_euclid(width);
+                    ((lo as i128) + v) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Raw-bit floats: covers NaN, infinities and subnormals, which is
+    // more adversarial than the real crate's default — callers that
+    // care (datatype round-trips) already handle NaN explicitly.
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of(inner)`: `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::collection::vec` etc. resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `{:?}` == `{:?}`", l, r),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut case: u32 = 0;
+                let mut attempt: u64 = 0;
+                let mut rejects: u64 = 0;
+                while case < config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), attempt);
+                    attempt += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {
+                            case += 1;
+                            rejects = 0;
+                        }
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(why))) => {
+                            rejects += 1;
+                            if rejects > $crate::test_runner::MAX_REJECTS_PER_CASE {
+                                panic!(
+                                    "proptest {}: too many rejected samples ({}): {}",
+                                    stringify!($name),
+                                    rejects,
+                                    why
+                                );
+                            }
+                        }
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                            panic!(
+                                "proptest {} failed at case {}.\n  inputs: {}\n  {}",
+                                stringify!($name),
+                                case,
+                                inputs,
+                                msg
+                            );
+                        }
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest {} panicked at case {}.\n  inputs: {}",
+                                stringify!($name),
+                                case,
+                                inputs
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec((0i32..5, any::<u32>()), 1..9);
+        let a = strat.generate(&mut TestRng::for_case("x", 3));
+        let b = strat.generate(&mut TestRng::for_case("x", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            v in (0usize..7, 1u64..8).prop_map(|(a, b)| a as u64 + b),
+            opt in crate::option::of(0i32..3),
+            xs in crate::collection::vec(0u8..10, 2..6),
+        ) {
+            prop_assert!(v < 15, "v out of bounds: {v}");
+            if let Some(o) = opt {
+                prop_assert!((0..3).contains(&o));
+            }
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(xs.iter().filter(|&&x| x >= 10).count(), 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0, "assume should have filtered {}", a);
+        }
+    }
+}

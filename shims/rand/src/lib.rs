@@ -1,0 +1,201 @@
+//! Offline shim: the subset of `rand` 0.9 this workspace uses —
+//! `StdRng::seed_from_u64`, `Rng::random_range`, `Rng::random_bool`,
+//! and `seq::SliceRandom::shuffle`. The generator is splitmix64 rather
+//! than ChaCha12: cryptographic quality is irrelevant here, while
+//! seed-determinism (same seed ⇒ same stream, forever) is exactly what
+//! the chaos tests and the `dst` harness need, and a tiny local
+//! implementation guarantees the stream can never change under us.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a 64-bit output stream.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types `random_range` can produce. Samples are taken modulo the
+/// range width — a negligible bias for the test-scale ranges used here.
+pub trait SampleUniform: Copy {
+    fn sample_in(lo: Self, hi_inclusive: Self, rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+                debug_assert!(lo <= hi);
+                let width = (hi as i128) - (lo as i128) + 1;
+                let v = (rng.next_u64() as i128).rem_euclid(width);
+                ((lo as i128) + v) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+/// Ranges `random_range` accepts.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + num_step::One> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, num_step::one_less(self.end), rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_in(lo, hi, rng)
+    }
+}
+
+mod num_step {
+    /// Integer predecessor, used to convert `a..b` into `a..=b-1`.
+    pub trait One: Copy {
+        fn pred(self) -> Self;
+    }
+    macro_rules! impl_one {
+        ($($ty:ty),*) => {$(
+            impl One for $ty {
+                fn pred(self) -> Self { self - 1 }
+            }
+        )*};
+    }
+    impl_one!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+    pub fn one_less<T: One>(v: T) -> T {
+        v.pred()
+    }
+}
+
+/// High-level sampling methods (the used subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53-bit uniform in [0,1).
+        let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        v < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: splitmix64.
+    ///
+    /// Not the real crate's ChaCha12 — see the crate docs for why that
+    /// is acceptable (and desirable) here.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..9);
+            assert!((3..9).contains(&v));
+            let w: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let u: u64 = rng.random_range(1..=1);
+            assert_eq!(u, 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

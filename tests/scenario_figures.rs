@@ -26,18 +26,33 @@ fn watchdog() -> Duration {
 
 /// Fig. 6: P2 fails after receiving from P1, before sending to P3;
 /// with the naive receive the program hangs.
+///
+/// The hang is detected by a *logical-step* watchdog: the run executes
+/// under the `dst` serializing scheduler and is declared hung when its
+/// grant budget runs out, instead of waiting on a wall-clock timer.
+/// Same seed ⇒ same interleaving ⇒ the hang (and its detection point)
+/// reproduces exactly, however loaded the machine is.
 #[test]
 fn fig6_naive_recv_hangs_when_token_dies_with_rank() {
     // Kill rank 2 after its 2nd token receive (mid-iteration 1).
     let plan = kill_after_recv(2, 1, T_N, 2);
     let cfg = RingConfig::naive(MAX_ITER);
+    let sched = std::sync::Arc::new(dst::Scheduler::new(4, 0xF16_6, 50_000));
     let report = run(
         4,
-        UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(3)),
+        UniverseConfig::with_plan(plan)
+            .sim(sched.clone())
+            // Generous wall-clock backstop only; the logical budget is
+            // what fires.
+            .watchdog(watchdog()),
         move |p| run_ring(p, WORLD, &cfg),
     );
     let s = summarize(&report);
     assert!(s.hung, "the naive receive must hang exactly as Fig. 6 describes");
+    assert!(
+        sched.budget_exhausted(),
+        "the hang must be caught by the logical-step budget, not wall clock"
+    );
     assert_eq!(s.failed, vec![2]);
     assert!(
         s.completed_iterations() < MAX_ITER as usize,
