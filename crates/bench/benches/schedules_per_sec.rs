@@ -1,17 +1,25 @@
 //! Experiment **DST throughput**: how many complete deterministic
 //! schedules the simulation harness explores per second.
 //!
-//! Each iteration runs one full seeded schedule of the hardened ring —
-//! serialize every rank through the scheduler, inject the seed-derived
-//! kills, run all applicable oracles — exactly what `dst explore` does
-//! per seed. This number bounds how much schedule space a CI budget can
-//! cover, so regressions here directly shrink bug-finding power.
+//! Two series:
+//!
+//! * `explore/{ranks}` — one full seeded schedule of the hardened ring
+//!   per element, run serially: serialize every rank through the
+//!   scheduler, inject the seed-derived kills, run all applicable
+//!   oracles. The per-seed cost floor.
+//! * `sweep_jobs/{jobs}` — the same work driven through the parallel
+//!   sweep engine at increasing worker counts. The ratio between
+//!   `sweep_jobs/1` and `sweep_jobs/N` is the wall-clock multiplier a
+//!   CI budget gains from `dst explore --jobs N`.
+//!
+//! These numbers bound how much schedule space a CI budget can cover,
+//! so regressions here directly shrink bug-finding power.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use dst::{check_all, run_seed, ScenarioCfg};
+use dst::{check_all, run_seed, sweep, ScenarioCfg, SweepCfg};
 
 fn bench_schedules_per_sec(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedules_per_sec");
@@ -34,6 +42,37 @@ fn bench_schedules_per_sec(c: &mut Criterion) {
                     let violations = check_all(&obs);
                     assert!(violations.is_empty(), "seed violated: {violations:?}");
                 }
+            });
+        });
+    }
+    group.finish();
+
+    // Worker-count scaling: the same per-seed work fanned out over the
+    // sweep engine. Larger batch so the pool actually fills.
+    let mut group = c.benchmark_group("schedules_per_sec");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    const SWEEP_BATCH: u64 = 64;
+    group.throughput(Throughput::Elements(SWEEP_BATCH));
+
+    let cfg = ScenarioCfg::default();
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sweep_jobs", jobs), &jobs, |b, &jobs| {
+            let mut next_start = 0u64;
+            b.iter(|| {
+                let sweep_cfg = SweepCfg {
+                    start: next_start,
+                    count: SWEEP_BATCH,
+                    jobs,
+                    max_failures: 100,
+                    shrink_failures: false,
+                };
+                next_start += SWEEP_BATCH;
+                let report = sweep(&sweep_cfg, &cfg).expect("valid sweep");
+                assert_eq!(report.failing, 0, "hardened corpus must stay green");
             });
         });
     }

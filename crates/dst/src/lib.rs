@@ -27,11 +27,13 @@ pub mod oracle;
 pub mod scenario;
 pub mod sched;
 pub mod shrink;
+pub mod sweep;
 
 pub use oracle::{all_oracles, check_all, Oracle, Violation};
 pub use scenario::{run_schedule, run_seed, Kill, Observation, ScenarioCfg, Schedule};
 pub use sched::{SchedEvent, Scheduler, SplitMix64};
 pub use shrink::{shrink, Ev, Shrunk};
+pub use sweep::{sweep, FailureSummary, SweepCfg, SweepError, SweepReport};
 
 /// Result of exploring one seed.
 #[derive(Debug)]
@@ -44,16 +46,24 @@ pub struct SeedResult {
     pub observation: Observation,
 }
 
-/// Run `count` seeds starting at `start` and oracle-check each one.
-/// Returns one result per seed, in order.
-pub fn explore(start: u64, count: u64, cfg: &ScenarioCfg) -> Vec<SeedResult> {
-    (start..start + count)
+/// Run `count` seeds starting at `start` serially and oracle-check
+/// each one. Returns one full result per seed, in order — O(count)
+/// memory, so this is for tests and small sweeps; use [`sweep`] for
+/// large campaigns (parallel workers, streaming aggregation, bounded
+/// failure retention).
+///
+/// Errors instead of wrapping when `start + count` exceeds `u64::MAX`.
+pub fn explore(start: u64, count: u64, cfg: &ScenarioCfg) -> Result<Vec<SeedResult>, SweepError> {
+    let end = start
+        .checked_add(count)
+        .ok_or(SweepError::SeedRangeOverflow { start, count })?;
+    Ok((start..end)
         .map(|seed| {
             let observation = run_seed(seed, cfg);
             let violations = check_all(&observation);
             SeedResult { seed, violations, observation }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -105,7 +115,7 @@ mod tests {
     #[test]
     fn pinned_corpus_is_green() {
         let cfg = ScenarioCfg::default();
-        for r in explore(0, 25, &cfg) {
+        for r in explore(0, 25, &cfg).unwrap() {
             assert!(
                 r.violations.is_empty(),
                 "seed {:#x} violated: {:?}\nkills: {:?}\nlog:\n{}",
@@ -153,5 +163,26 @@ mod tests {
                 "protocol traces diverged for seed {seed:#x}"
             );
         }
+    }
+
+    /// Regression: a range that would run past `u64::MAX` errors
+    /// cleanly instead of panicking in debug or wrapping to an empty
+    /// range in release; the exact boundary still works.
+    #[test]
+    fn seed_range_overflow_is_an_error_not_a_wrap() {
+        let cfg = ScenarioCfg::default();
+        assert!(matches!(
+            explore(u64::MAX, 2, &cfg),
+            Err(SweepError::SeedRangeOverflow { start: u64::MAX, count: 2 })
+        ));
+        assert!(matches!(
+            explore(u64::MAX - 1, 3, &cfg),
+            Err(SweepError::SeedRangeOverflow { .. })
+        ));
+        // `start + count == u64::MAX` is representable and runs.
+        let results = explore(u64::MAX - 2, 2, &cfg).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].seed, u64::MAX - 2);
+        assert_eq!(results[1].seed, u64::MAX - 1);
     }
 }

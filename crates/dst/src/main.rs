@@ -1,19 +1,28 @@
 //! `dst` — the deterministic-simulation CLI.
 //!
 //! ```text
-//! dst explore --seeds 1000 [--start 0] [--buggy] [--ranks 4] [--iters 3]
+//! dst explore --seeds 1000 [--start 0] [--jobs N] [--corpus PATH]
+//!             [--shrink-failures] [--max-failures N]
+//!             [--buggy] [--ranks 4] [--iters 3]
 //! dst replay  --seed 0xBEEF [--buggy] [--log]
 //! dst shrink  --seed 0xBEEF [--buggy]
 //! dst determinism --seed 0xBEEF [--buggy]
 //! ```
 //!
+//! `explore` fans the sweep out over a worker pool (default: one worker
+//! per core) — per-seed verdicts are identical whatever `--jobs` is,
+//! because determinism lives inside each seed's self-contained
+//! simulation. Failing seeds can be written to a `--corpus` file as
+//! one-line repros, ddmin-minimized first with `--shrink-failures`.
+//!
 //! Exit status is non-zero when an oracle violation (explore/replay),
 //! an unshrinkable failure (shrink), or a log divergence (determinism)
 //! is found, so the commands compose directly into CI.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dst::{check_all, explore, run_seed, shrink, ScenarioCfg};
+use dst::{check_all, run_seed, shrink, sweep, ScenarioCfg, SweepCfg};
 
 fn parse_u64(s: &str) -> Result<u64, String> {
     let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -32,6 +41,11 @@ struct Args {
     ranks: usize,
     iters: u64,
     show_log: bool,
+    /// `None`: auto (one worker per core). `Some(n)`: exactly `n`.
+    jobs: Option<usize>,
+    max_failures: usize,
+    corpus: Option<PathBuf>,
+    shrink_failures: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +60,10 @@ fn parse_args() -> Result<Args, String> {
         ranks: 4,
         iters: 3,
         show_log: false,
+        jobs: None,
+        max_failures: 100,
+        corpus: None,
+        shrink_failures: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -57,17 +75,54 @@ fn parse_args() -> Result<Args, String> {
             "--start" => args.start = parse_u64(&value("--start")?)?,
             "--ranks" => args.ranks = parse_u64(&value("--ranks")?)? as usize,
             "--iters" => args.iters = parse_u64(&value("--iters")?)?,
+            "--jobs" => args.jobs = Some(parse_u64(&value("--jobs")?)? as usize),
+            "--max-failures" => {
+                args.max_failures = parse_u64(&value("--max-failures")?)? as usize
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--shrink-failures" => args.shrink_failures = true,
             "--buggy" => args.buggy = true,
             "--log" => args.show_log = true,
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
     }
+    validate(&args)?;
     Ok(args)
+}
+
+/// Reject degenerate configurations at the CLI boundary: a clean usage
+/// error beats a panic (`--ranks 0` used to divide by zero in kill
+/// derivation) or a silent no-op (`--seeds 0`, `--iters 0`).
+fn validate(args: &Args) -> Result<(), String> {
+    let scenario = cfg_of(args);
+    scenario.validate().map_err(|e| format!("{e}\n{}", usage()))?;
+    if args.cmd == "explore" {
+        if args.seeds == 0 {
+            return Err(format!("--seeds must be at least 1\n{}", usage()));
+        }
+        args.start.checked_add(args.seeds).ok_or_else(|| {
+            format!(
+                "--start {:#x} + --seeds {} overflows the u64 seed space\n{}",
+                args.start,
+                args.seeds,
+                usage()
+            )
+        })?;
+        if args.jobs == Some(0) {
+            return Err(format!("--jobs must be at least 1\n{}", usage()));
+        }
+        if args.max_failures == 0 {
+            return Err(format!("--max-failures must be at least 1\n{}", usage()));
+        }
+    }
+    Ok(())
 }
 
 fn usage() -> String {
     "usage: dst <explore|replay|shrink|determinism> \
-     [--seed S] [--seeds N] [--start S] [--buggy] [--ranks N] [--iters N] [--log]"
+     [--seed S] [--seeds N] [--start S] [--jobs N] [--corpus PATH] \
+     [--shrink-failures] [--max-failures N] [--buggy] [--ranks N] \
+     [--iters N] [--log]"
         .to_string()
 }
 
@@ -84,30 +139,62 @@ fn need_seed(args: &Args) -> Result<u64, String> {
     args.seed.ok_or_else(|| format!("--seed is required\n{}", usage()))
 }
 
-fn cmd_explore(args: &Args) -> ExitCode {
+fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
     let cfg = cfg_of(args);
-    let results = explore(args.start, args.seeds, &cfg);
-    let mut failing = 0u64;
-    for r in &results {
-        if !r.violations.is_empty() {
-            failing += 1;
-            println!("seed {:#x}: FAIL", r.seed);
-            for k in &r.observation.schedule.kills {
-                println!("  schedule: {k}");
-            }
-            for v in &r.violations {
-                println!("  violation: {v}");
-            }
+    let sweep_cfg = SweepCfg {
+        start: args.start,
+        count: args.seeds,
+        jobs: args.jobs.unwrap_or(0),
+        max_failures: args.max_failures,
+        shrink_failures: args.shrink_failures,
+    };
+    let report = sweep(&sweep_cfg, &cfg).map_err(|e| e.to_string())?;
+
+    for f in report.failures.values() {
+        println!("seed {:#x}: FAIL", f.seed);
+        for k in &f.kills {
+            println!("  schedule: {k}");
+        }
+        for v in &f.violations {
+            println!("  violation: {v}");
+        }
+        if let Some(s) = &f.shrunk {
+            println!("  shrunk ({} runs): {}", s.runs, s.events.join("; "));
         }
     }
+    if report.dropped_failures > 0 {
+        println!(
+            "... and {} more failing seed(s) beyond --max-failures {}",
+            report.dropped_failures,
+            args.max_failures
+        );
+    }
     println!(
-        "explored {} seeds ({} mode): {} green, {} failing",
-        results.len(),
+        "explored {} seeds ({} mode, {} worker{}) in {:.2?}: \
+         {} green, {} failing, {} hung — {:.0} seeds/sec",
+        report.count,
         if cfg.buggy_dedup { "buggy" } else { "hardened" },
-        results.len() as u64 - failing,
-        failing
+        report.jobs,
+        if report.jobs == 1 { "" } else { "s" },
+        report.elapsed,
+        report.green,
+        report.failing,
+        report.hung,
+        report.throughput()
     );
-    if failing == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+
+    if let Some(path) = &args.corpus {
+        let written = report
+            .write_corpus(path, &cfg)
+            .map_err(|e| format!("cannot write corpus {}: {e}", path.display()))?;
+        if written {
+            println!("wrote {} failing seed(s) to {}", report.failures.len(), path.display());
+        } else {
+            println!("no failures: corpus {} not written", path.display());
+        }
+    }
+
+    Ok(if report.failing == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
@@ -192,7 +279,7 @@ fn main() -> ExitCode {
         }
     };
     let result = match args.cmd.as_str() {
-        "explore" => Ok(cmd_explore(&args)),
+        "explore" => cmd_explore(&args),
         "replay" => cmd_replay(&args),
         "shrink" => cmd_shrink(&args),
         "determinism" => cmd_determinism(&args),

@@ -47,6 +47,25 @@ impl Default for ScenarioCfg {
 }
 
 impl ScenarioCfg {
+    /// Reject degenerate configurations before they reach a universe.
+    ///
+    /// `ranks < 2` has no ring to pass a token around (and kill
+    /// derivation draws from `ranks - 1` buckets), `max_iter == 0`
+    /// silently does nothing, and `step_budget == 0` declares every
+    /// run hung before its first grant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ranks < 2 {
+            return Err(format!("ranks must be at least 2 (got {})", self.ranks));
+        }
+        if self.max_iter == 0 {
+            return Err("iters must be at least 1".to_string());
+        }
+        if self.step_budget == 0 {
+            return Err("step budget must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
     /// The ring configuration this scenario runs.
     pub fn ring_config(&self) -> RingConfig {
         if self.buggy_dedup {

@@ -1,0 +1,416 @@
+//! Parallel seed-sweep engine.
+//!
+//! [`sweep`] is the multi-worker replacement for running seeds one at a
+//! time: a pool of worker threads (default
+//! `std::thread::available_parallelism()`) pulls seed chunks from a
+//! shared atomic cursor, runs each seed's fully self-contained
+//! simulation ([`run_seed`] plus the oracles), and streams a compact
+//! per-seed verdict into an aggregator. Determinism lives entirely
+//! inside `run_seed` — every universe owns its scheduler, fabric,
+//! injector, boards and trace, and nothing is process-global — so the
+//! per-seed verdicts are identical whatever the worker count; only
+//! wall-clock time changes.
+//!
+//! The aggregator keeps **streaming summaries**, not observations: a
+//! green seed costs three counter bumps, and a failing seed is folded
+//! into a bounded [`FailureSummary`] map that retains the *lowest*
+//! failing seeds (eviction by largest key, so the retained set is also
+//! independent of arrival order). A million-seed sweep therefore runs
+//! in O(max_failures) memory instead of O(seeds) observations-plus-logs.
+//!
+//! Failing seeds can be persisted as a corpus file
+//! ([`SweepReport::write_corpus`]) of one-line repros, optionally
+//! ddmin-minimized first (`shrink_failures`), so a red CI run hands the
+//! developer `dst replay --seed 0x2d --buggy` instead of a log dump.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::oracle::check_all;
+use crate::scenario::{run_seed, ScenarioCfg};
+use crate::shrink::shrink;
+
+/// Seeds claimed per cursor pull. Small enough that workers stay
+/// balanced at the tail of a sweep, large enough that the cursor is not
+/// contended.
+const CHUNK: u64 = 8;
+
+/// How a sweep is shaped: the seed range and the engine knobs.
+#[derive(Debug, Clone)]
+pub struct SweepCfg {
+    /// First seed.
+    pub start: u64,
+    /// Number of seeds (`start..start + count`).
+    pub count: u64,
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub jobs: usize,
+    /// Cap on retained failure summaries (the lowest failing seeds are
+    /// kept; everything beyond the cap is counted, not stored).
+    pub max_failures: usize,
+    /// ddmin-minimize each retained failure after the sweep, so corpus
+    /// lines carry a minimal event set.
+    pub shrink_failures: bool,
+}
+
+impl Default for SweepCfg {
+    fn default() -> Self {
+        SweepCfg { start: 0, count: 100, jobs: 0, max_failures: 100, shrink_failures: false }
+    }
+}
+
+/// Ways a sweep can be rejected before any seed runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// `start + count` does not fit in a `u64`: the range cannot be
+    /// represented, let alone iterated.
+    SeedRangeOverflow {
+        /// Requested first seed.
+        start: u64,
+        /// Requested seed count.
+        count: u64,
+    },
+    /// The scenario or engine configuration is degenerate.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::SeedRangeOverflow { start, count } => write!(
+                f,
+                "seed range overflows: start {start:#x} + count {count} exceeds u64::MAX"
+            ),
+            SweepError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Compact record of one failing seed — everything needed to report
+/// and reproduce it, nothing that grows with the run (no observation,
+/// no decision log).
+#[derive(Debug, Clone)]
+pub struct FailureSummary {
+    /// The failing seed.
+    pub seed: u64,
+    /// Violated oracle names, deduplicated, in oracle order.
+    pub oracles: Vec<String>,
+    /// Full violation messages.
+    pub violations: Vec<String>,
+    /// The seed-derived kill-set, rendered.
+    pub kills: Vec<String>,
+    /// Whether the run hung (logical-step budget exhausted).
+    pub hung: bool,
+    /// Minimal event set from ddmin, when `shrink_failures` ran.
+    pub shrunk: Option<ShrunkSummary>,
+}
+
+/// Rendered result of shrinking one failing seed.
+#[derive(Debug, Clone)]
+pub struct ShrunkSummary {
+    /// The locally minimal events, rendered one per entry.
+    pub events: Vec<String>,
+    /// Schedules the shrinker executed to get there.
+    pub runs: usize,
+}
+
+/// What a sweep found, in aggregate.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// First seed swept.
+    pub start: u64,
+    /// Seeds swept.
+    pub count: u64,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Seeds with every applicable oracle green.
+    pub green: u64,
+    /// Seeds with at least one violation.
+    pub failing: u64,
+    /// Seeds whose run hung (subset of `failing`: the hang itself may
+    /// or may not be an oracle violation, but it is always counted).
+    pub hung: u64,
+    /// Bounded failure map, keyed by seed: the lowest
+    /// `SweepCfg::max_failures` failing seeds.
+    pub failures: BTreeMap<u64, FailureSummary>,
+    /// Failing seeds beyond the cap — counted so the bound is never a
+    /// silent truncation.
+    pub dropped_failures: u64,
+    /// Wall-clock duration of the sweep (excludes corpus writing).
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// Seeds per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 { self.count as f64 / secs } else { f64::INFINITY }
+    }
+
+    /// Write the failing seeds as a corpus of one-line repros. Returns
+    /// `Ok(false)` without touching the filesystem when there are no
+    /// failures, so CI can upload the file exactly when it exists.
+    pub fn write_corpus(&self, path: &Path, scenario: &ScenarioCfg) -> std::io::Result<bool> {
+        if self.failures.is_empty() {
+            return Ok(false);
+        }
+        let mut f = std::fs::File::create(path)?;
+        for fail in self.failures.values() {
+            writeln!(f, "{}", corpus_line(fail, scenario))?;
+        }
+        if self.dropped_failures > 0 {
+            writeln!(
+                f,
+                "# +{} more failing seed(s) beyond --max-failures {}",
+                self.dropped_failures,
+                self.failures.len()
+            )?;
+        }
+        f.flush()?;
+        Ok(true)
+    }
+}
+
+/// One line per failure: seed, verdict, schedule, and a paste-able
+/// repro command.
+fn corpus_line(fail: &FailureSummary, scenario: &ScenarioCfg) -> String {
+    let mut line = format!("seed={:#x} oracles={}", fail.seed, fail.oracles.join(","));
+    if fail.hung {
+        line.push_str(" hung");
+    }
+    if !fail.kills.is_empty() {
+        line.push_str(&format!(" kills=[{}]", fail.kills.join("; ")));
+    }
+    if let Some(s) = &fail.shrunk {
+        line.push_str(&format!(" shrunk=[{}]", s.events.join("; ")));
+    }
+    line.push_str(&format!(
+        " repro=\"dst replay --seed {:#x} --ranks {} --iters {}{}\"",
+        fail.seed,
+        scenario.ranks,
+        scenario.max_iter,
+        if scenario.buggy_dedup { " --buggy" } else { "" }
+    ));
+    line
+}
+
+/// The streaming aggregator workers fold verdicts into.
+struct Aggregate {
+    green: u64,
+    failing: u64,
+    hung: u64,
+    dropped: u64,
+    cap: usize,
+    failures: BTreeMap<u64, FailureSummary>,
+}
+
+impl Aggregate {
+    fn new(cap: usize) -> Self {
+        Aggregate { green: 0, failing: 0, hung: 0, dropped: 0, cap, failures: BTreeMap::new() }
+    }
+
+    fn record(&mut self, hung: bool, failure: Option<FailureSummary>) {
+        if hung {
+            self.hung += 1;
+        }
+        match failure {
+            None => self.green += 1,
+            Some(f) => {
+                self.failing += 1;
+                self.failures.insert(f.seed, f);
+                if self.failures.len() > self.cap {
+                    // Evict the highest seed: the retained set is the
+                    // lowest `cap` failing seeds no matter which worker
+                    // found what first.
+                    let highest = *self.failures.keys().next_back().expect("non-empty");
+                    self.failures.remove(&highest);
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Run one seed and fold it into a verdict; the observation (and its
+/// decision log) dies here, which is what bounds sweep memory.
+fn verdict_of(seed: u64, scenario: &ScenarioCfg) -> (bool, Option<FailureSummary>) {
+    let obs = run_seed(seed, scenario);
+    let violations = check_all(&obs);
+    if violations.is_empty() {
+        return (obs.hung, None);
+    }
+    let mut oracles: Vec<String> = Vec::new();
+    for v in &violations {
+        if !oracles.iter().any(|o| o.as_str() == v.oracle) {
+            oracles.push(v.oracle.to_string());
+        }
+    }
+    let summary = FailureSummary {
+        seed,
+        oracles,
+        violations: violations.iter().map(|v| v.to_string()).collect(),
+        kills: obs.schedule.kills.iter().map(|k| k.to_string()).collect(),
+        hung: obs.hung,
+        shrunk: None,
+    };
+    (obs.hung, Some(summary))
+}
+
+/// Sweep `cfg.count` seeds from `cfg.start` over a worker pool and
+/// aggregate the verdicts.
+///
+/// Per-seed verdicts are identical to the serial path regardless of
+/// `jobs` (each simulation is self-contained); the failure map is
+/// bounded by `cfg.max_failures`; `shrink_failures` additionally
+/// minimizes each retained failure after the sweep.
+pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, SweepError> {
+    scenario.validate().map_err(SweepError::InvalidConfig)?;
+    if cfg.count == 0 {
+        return Err(SweepError::InvalidConfig("seed count must be at least 1".into()));
+    }
+    // The satellite bug this engine inherits from the serial path:
+    // `start..start + count` must not wrap. Checked here, once, with a
+    // clean error instead of a debug panic / silent empty range.
+    cfg.start
+        .checked_add(cfg.count)
+        .ok_or(SweepError::SeedRangeOverflow { start: cfg.start, count: cfg.count })?;
+
+    let jobs = match cfg.jobs {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    // More workers than seeds just park on an empty cursor.
+    let jobs = jobs.min(cfg.count.min(usize::MAX as u64) as usize).max(1);
+
+    let begun = Instant::now();
+    // The cursor hands out *offsets* in `0..count`, never absolute
+    // seeds, so claiming a chunk can never overflow even at the top of
+    // the u64 seed space.
+    let cursor = AtomicU64::new(0);
+    let agg = Mutex::new(Aggregate::new(cfg.max_failures.max(1)));
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let claim = cursor.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                    if c >= cfg.count {
+                        None
+                    } else {
+                        Some(c.saturating_add(CHUNK).min(cfg.count))
+                    }
+                });
+                let begin = match claim {
+                    Ok(b) => b,
+                    Err(_) => break,
+                };
+                let end = begin.saturating_add(CHUNK).min(cfg.count);
+                for off in begin..end {
+                    let (hung, failure) = verdict_of(cfg.start + off, scenario);
+                    agg.lock().unwrap().record(hung, failure);
+                }
+            });
+        }
+    });
+
+    let mut agg = agg.into_inner().unwrap();
+    if cfg.shrink_failures {
+        // Shrink only the retained (bounded) set, after the sweep, so
+        // no minimization effort is wasted on seeds that get evicted.
+        for fail in agg.failures.values_mut() {
+            if let Some(s) = shrink(fail.seed, scenario, None) {
+                fail.shrunk = Some(ShrunkSummary {
+                    events: s.events.iter().map(|e| e.to_string()).collect(),
+                    runs: s.runs,
+                });
+            }
+        }
+    }
+
+    Ok(SweepReport {
+        start: cfg.start,
+        count: cfg.count,
+        jobs,
+        green: agg.green,
+        failing: agg.failing,
+        hung: agg.hung,
+        failures: agg.failures,
+        dropped_failures: agg.dropped,
+        elapsed: begun.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflowing_range_is_rejected_cleanly() {
+        let cfg = SweepCfg { start: u64::MAX, count: 2, ..SweepCfg::default() };
+        match sweep(&cfg, &ScenarioCfg::default()) {
+            Err(SweepError::SeedRangeOverflow { start, count }) => {
+                assert_eq!(start, u64::MAX);
+                assert_eq!(count, 2);
+            }
+            other => panic!("expected overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_count_and_degenerate_scenarios_are_rejected() {
+        let cfg = SweepCfg { count: 0, ..SweepCfg::default() };
+        assert!(matches!(sweep(&cfg, &ScenarioCfg::default()), Err(SweepError::InvalidConfig(_))));
+
+        let bad = ScenarioCfg { ranks: 0, ..ScenarioCfg::default() };
+        let cfg = SweepCfg::default();
+        assert!(matches!(sweep(&cfg, &bad), Err(SweepError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn aggregate_keeps_lowest_seeds_whatever_the_arrival_order() {
+        let fail = |seed| FailureSummary {
+            seed,
+            oracles: vec!["x".into()],
+            violations: vec![],
+            kills: vec![],
+            hung: false,
+            shrunk: None,
+        };
+        let mut a = Aggregate::new(2);
+        let mut b = Aggregate::new(2);
+        for s in [9u64, 3, 7, 1] {
+            a.record(false, Some(fail(s)));
+        }
+        for s in [1u64, 7, 3, 9] {
+            b.record(false, Some(fail(s)));
+        }
+        let keys = |agg: &Aggregate| agg.failures.keys().copied().collect::<Vec<_>>();
+        assert_eq!(keys(&a), vec![1, 3]);
+        assert_eq!(keys(&a), keys(&b));
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.failing, 4);
+    }
+
+    #[test]
+    fn corpus_line_carries_a_usable_repro() {
+        let fail = FailureSummary {
+            seed: 0x2d,
+            oracles: vec!["no-duplicate".into()],
+            violations: vec!["dup".into()],
+            kills: vec!["kill 2 at AfterSend#1".into()],
+            hung: false,
+            shrunk: Some(ShrunkSummary { events: vec!["kill 2 at AfterSend#1".into()], runs: 3 }),
+        };
+        let cfg = ScenarioCfg { buggy_dedup: true, ..ScenarioCfg::default() };
+        let line = corpus_line(&fail, &cfg);
+        assert!(line.contains("seed=0x2d"));
+        assert!(line.contains("oracles=no-duplicate"));
+        assert!(line.contains("--buggy"));
+        assert!(line.contains("dst replay --seed 0x2d"));
+        assert!(!line.contains('\n'));
+    }
+}

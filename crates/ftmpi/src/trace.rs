@@ -116,7 +116,9 @@ pub struct Trace {
     /// Logical clock override. With a clock installed, `at_us` holds
     /// logical time instead of wall-clock microseconds, so identical
     /// schedules produce byte-identical traces (deterministic
-    /// simulation needs this; see the `dst` crate).
+    /// simulation needs this; see the `dst` crate). Per-instance, not
+    /// global: concurrent universes each keep their own clock, which
+    /// is what lets the `dst` sweep engine run them in parallel.
     clock: Mutex<Option<Clock>>,
     events: Mutex<Vec<TimedEvent>>,
 }

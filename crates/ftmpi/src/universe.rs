@@ -6,6 +6,14 @@
 //! schedule, and — crucially for reproducing the paper's Fig. 6 — a
 //! watchdog that detects distributed hangs and converts them into a
 //! clean, reportable outcome instead of a wedged test suite.
+//!
+//! Every piece of that state lives in one universe's [`Shared`]; there
+//! are no process-global statics anywhere in `ftmpi` or `faultsim`
+//! (including the trace's logical clock, which is installed on the
+//! per-universe [`Trace`] instance). Concurrent [`run`] calls are
+//! therefore fully isolated — the `dst` parallel seed-sweep engine
+//! leans on this to run one universe per worker, and
+//! `tests/concurrent_universes.rs` pins the property.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,101 @@
+//! Concurrent-universe isolation: the property the `dst` parallel
+//! seed-sweep engine rests on. Every piece of runtime state — fabric,
+//! failure registry, fault injector, coordination boards, trace and its
+//! clock — is owned by one universe's `Shared`, never process-global,
+//! so many universes running at once behave exactly like the same
+//! universes run one after another.
+
+use std::time::Duration;
+
+use faultsim::{FaultPlan, HookKind};
+use ftmpi::{run, RankOutcome, Src, UniverseConfig, WORLD};
+
+fn wd() -> Duration {
+    Duration::from_secs(60)
+}
+
+/// One small universe: a ring token pass with rank `victim` killed
+/// after its first send. Returns (per-rank ok flags, killed events in
+/// the trace).
+fn ring_universe(n: usize, victim: usize) -> (Vec<bool>, Vec<usize>) {
+    let plan = FaultPlan::none().kill_at(victim, HookKind::AfterSend, 1);
+    let cfg = UniverseConfig::with_plan(plan).traced().watchdog(wd());
+    let report = run(n, cfg, move |p| {
+        let me = p.comm_rank(WORLD)?;
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        // One exchange is enough: the victim dies right after sending,
+        // so everyone else still completes the round.
+        let (v, _): (usize, _) = p.sendrecv(WORLD, right, 7, &me, Src::Rank(left), 7)?;
+        Ok(v)
+    });
+    let oks = report.outcomes.iter().map(|o| o.is_ok()).collect();
+    let killed = report
+        .trace
+        .iter()
+        .filter_map(|te| match te.event {
+            ftmpi::Event::Killed { rank } => Some(rank),
+            _ => None,
+        })
+        .collect();
+    (oks, killed)
+}
+
+/// Run the same set of distinct universes serially and concurrently;
+/// each must observe only its own failure and reach the same outcome.
+#[test]
+fn concurrent_universes_match_their_serial_runs() {
+    let n = 4;
+    let victims: Vec<usize> = vec![0, 1, 2, 3, 1, 2];
+
+    let serial: Vec<_> = victims.iter().map(|&v| ring_universe(n, v)).collect();
+
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = victims
+            .iter()
+            .map(|&v| scope.spawn(move || ring_universe(n, v)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (s, c)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_eq!(s, c, "universe {i} (victim {}) diverged under concurrency", victims[i]);
+        // Isolation: each trace contains exactly this universe's kill,
+        // never a neighbor's.
+        assert_eq!(c.1, vec![victims[i]], "universe {i} saw foreign kill events");
+    }
+}
+
+/// Fault injectors are per-universe: two concurrent universes with
+/// different plans never leak kills into each other, and a plan-free
+/// universe stays entirely green while a faulty one runs next to it.
+#[test]
+fn injector_state_does_not_leak_between_universes() {
+    std::thread::scope(|scope| {
+        let faulty = scope.spawn(|| {
+            let plan = FaultPlan::none().kill_at(1, HookKind::AfterSend, 1);
+            let report = run(3, UniverseConfig::with_plan(plan).watchdog(wd()), |p| {
+                let me = p.comm_rank(WORLD)?;
+                let n = 3;
+                let (v, _): (usize, _) =
+                    p.sendrecv(WORLD, (me + 1) % n, 1, &me, Src::Rank((me + n - 1) % n), 1)?;
+                Ok(v)
+            });
+            assert!(matches!(report.outcomes[1], RankOutcome::Failed));
+        });
+        let clean = scope.spawn(|| {
+            for _ in 0..3 {
+                let report = run(3, UniverseConfig::default(), |p| {
+                    let me = p.comm_rank(WORLD)?;
+                    let n = 3;
+                    let (v, _): (usize, _) =
+                        p.sendrecv(WORLD, (me + 1) % n, 1, &me, Src::Rank((me + n - 1) % n), 1)?;
+                    Ok(v)
+                });
+                assert!(report.all_ok(), "plan-free universe caught a foreign fault");
+            }
+        });
+        faulty.join().unwrap();
+        clean.join().unwrap();
+    });
+}
