@@ -1,0 +1,154 @@
+//! Measure DST harness throughput and record it as `BENCH_dst.json`.
+//!
+//! Where the criterion bench (`benches/schedules_per_sec.rs`) prints
+//! human-readable timings, this binary emits a machine-readable record
+//! of schedules/sec for the series the roadmap tracks — `explore/{4,8}`
+//! (serial per-seed cost) and `sweep_jobs/{1,8}` (the parallel engine)
+//! — so the perf trajectory is a committed artifact, not folklore in PR
+//! descriptions.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_dst [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shortens the measurement window (CI smoke mode; rates are
+//! noisier). The default output path is `BENCH_dst.json` in the current
+//! directory.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use dst::{check_all, run_seed_quiet, sweep, ScenarioCfg, SweepCfg};
+
+/// One measured series.
+struct Entry {
+    id: String,
+    rate: f64,
+    batches: u64,
+    schedules: u64,
+    elapsed: Duration,
+}
+
+/// Run `batch` repeatedly until `measure` elapses (minimum 2 batches
+/// after a 1-batch warm-up) and return the schedules/sec rate. `items`
+/// is the schedule count one batch covers.
+fn measure(items: u64, measure: Duration, mut batch: impl FnMut(u64)) -> (f64, u64, u64, Duration) {
+    let mut round = 0u64;
+    batch(round); // warm-up
+    round += 1;
+    let start = Instant::now();
+    let mut batches = 0u64;
+    while batches < 2 || start.elapsed() < measure {
+        batch(round);
+        round += 1;
+        batches += 1;
+    }
+    let elapsed = start.elapsed();
+    let schedules = batches * items;
+    (schedules as f64 / elapsed.as_secs_f64(), batches, schedules, elapsed)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_dst.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_dst [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let window = if quick { Duration::from_millis(600) } else { Duration::from_secs(3) };
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Seeds wrap inside a validated-green window. The seed space is NOT
+    // uniformly green: the hardened ring has rare double-kill schedules
+    // that genuinely hang (at 4 ranks the first is seed 0x7f3, ~0.07%
+    // of seeds ≤ 10000; see ROADMAP). A bench that walks an unbounded
+    // frontier both panics on those seeds and — worse for measurement —
+    // burns the full 200k-grant budget on each one, wrecking the rate.
+    // Throughput only needs representative work, so we reuse a window
+    // that sweeps have pinned green at both rank counts.
+    const SEED_SPACE: u64 = 2000;
+
+    // Serial per-seed cost: one full schedule (sim + oracles) per item,
+    // exactly the sweep engine's inner loop (zero-retention run).
+    const EXPLORE_BATCH: u64 = 10;
+    for ranks in [4usize, 8] {
+        let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+        let (rate, batches, schedules, elapsed) =
+            measure(EXPLORE_BATCH, window, |round| {
+                let base = round * EXPLORE_BATCH;
+                for s in (base..base + EXPLORE_BATCH).map(|s| s % SEED_SPACE) {
+                    let obs = run_seed_quiet(s, &cfg);
+                    let violations = check_all(&obs);
+                    assert!(violations.is_empty(), "seed {s:#x} violated: {violations:?}");
+                }
+            });
+        eprintln!("explore/{ranks}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})");
+        entries.push(Entry { id: format!("explore/{ranks}"), rate, batches, schedules, elapsed });
+    }
+
+    // The parallel engine at the tracked worker counts.
+    const SWEEP_BATCH: u64 = 64;
+    let cfg = ScenarioCfg::default();
+    for jobs in [1usize, 8] {
+        let (rate, batches, schedules, elapsed) =
+            measure(SWEEP_BATCH, window, |round| {
+                let sweep_cfg = SweepCfg {
+                    // Wrap the 64-seed window inside the validated space.
+                    start: (round % (SEED_SPACE / SWEEP_BATCH)) * SWEEP_BATCH,
+                    count: SWEEP_BATCH,
+                    jobs,
+                    max_failures: 100,
+                    shrink_failures: false,
+                };
+                let report = sweep(&sweep_cfg, &cfg).expect("valid sweep");
+                assert_eq!(report.failing, 0, "hardened corpus must stay green");
+            });
+        eprintln!("sweep_jobs/{jobs}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})");
+        entries.push(Entry { id: format!("sweep_jobs/{jobs}"), rate, batches, schedules, elapsed });
+    }
+
+    // Hand-rolled JSON (no serde in this workspace); the format is flat
+    // enough that string assembly is the honest tool.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"schedules_per_sec\",\n");
+    json.push_str("  \"unit\": \"schedules/sec\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"results\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"rate\": {:.1}, \"schedules\": {}, \"batches\": {}, \"elapsed_ms\": {} }}{}\n",
+            e.id,
+            e.rate,
+            e.schedules,
+            e.batches,
+            e.elapsed.as_millis(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(1);
+    });
+    f.write_all(json.as_bytes()).expect("write BENCH json");
+    eprintln!("wrote {out}");
+}

@@ -30,7 +30,10 @@ pub mod shrink;
 pub mod sweep;
 
 pub use oracle::{all_oracles, check_all, Oracle, Violation};
-pub use scenario::{run_schedule, run_seed, Kill, Observation, ScenarioCfg, Schedule};
+pub use scenario::{
+    run_schedule, run_schedule_with, run_seed, run_seed_quiet, Kill, Observation, Retention,
+    ScenarioCfg, Schedule,
+};
 pub use sched::{SchedEvent, Scheduler, SplitMix64};
 pub use shrink::{shrink, Ev, Shrunk};
 pub use sweep::{sweep, FailureSummary, SweepCfg, SweepError, SweepReport};
@@ -162,6 +165,30 @@ mod tests {
                 format!("{:?}", b.trace),
                 "protocol traces diverged for seed {seed:#x}"
             );
+        }
+    }
+
+    /// Zero-retention runs must reach the same verdicts as recorded
+    /// runs — the sweep engine runs quiet, so a divergence here would
+    /// make `dst explore` and `dst replay` disagree about a seed.
+    #[test]
+    fn quiet_runs_reach_identical_verdicts() {
+        for buggy_dedup in [false, true] {
+            let cfg = ScenarioCfg { buggy_dedup, ..ScenarioCfg::default() };
+            for seed in [0x2du64, 0x2f, 3, 11] {
+                let full = run_seed(seed, &cfg);
+                let quiet = run_seed_quiet(seed, &cfg);
+                assert!(quiet.log.is_empty(), "quiet run retained a log");
+                assert!(quiet.delay_calls.is_empty(), "quiet run retained delays");
+                assert_eq!(full.outcomes, quiet.outcomes, "seed {seed:#x}");
+                assert_eq!(full.hung, quiet.hung, "seed {seed:#x}");
+                assert_eq!(full.budget_exhausted, quiet.budget_exhausted);
+                assert_eq!(
+                    format!("{:?}", check_all(&full)),
+                    format!("{:?}", check_all(&quiet)),
+                    "verdicts diverged for seed {seed:#x} (buggy={buggy_dedup})"
+                );
+            }
         }
     }
 

@@ -211,13 +211,42 @@ impl Observation {
     }
 }
 
+/// How much per-run history a schedule execution retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Record the full decision log and delay list (replay, shrinking,
+    /// anything a human will read).
+    Full,
+    /// Retain only what verdicts need: trace, outcomes, stats, hang
+    /// flags. `Observation::log` and `Observation::delay_calls` come
+    /// back empty. Sweeps run this way; a failing seed is re-run with
+    /// [`Retention::Full`] — determinism guarantees the identical
+    /// schedule — when its log is wanted.
+    Quiet,
+}
+
 /// Execute one schedule deterministically and observe the result.
 pub fn run_schedule(schedule: &Schedule, cfg: &ScenarioCfg) -> Observation {
-    let sched = match &schedule.delay_mask {
-        Some(mask) => {
+    run_schedule_with(schedule, cfg, Retention::Full)
+}
+
+/// [`run_schedule`] with an explicit retention policy.
+pub fn run_schedule_with(
+    schedule: &Schedule,
+    cfg: &ScenarioCfg,
+    retention: Retention,
+) -> Observation {
+    let sched = match (&schedule.delay_mask, retention) {
+        (Some(mask), _) => {
+            // Masked replay exists to be inspected; always record.
             Arc::new(Scheduler::with_delay_mask(cfg.ranks, schedule.seed, cfg.step_budget, mask))
         }
-        None => Arc::new(Scheduler::new(cfg.ranks, schedule.seed, cfg.step_budget)),
+        (None, Retention::Full) => {
+            Arc::new(Scheduler::new(cfg.ranks, schedule.seed, cfg.step_budget))
+        }
+        (None, Retention::Quiet) => {
+            Arc::new(Scheduler::quiet(cfg.ranks, schedule.seed, cfg.step_budget))
+        }
     };
     let plan = schedule
         .kills
@@ -270,6 +299,12 @@ pub fn run_schedule(schedule: &Schedule, cfg: &ScenarioCfg) -> Observation {
 /// Convenience: derive the schedule for `seed` and run it.
 pub fn run_seed(seed: u64, cfg: &ScenarioCfg) -> Observation {
     run_schedule(&Schedule::from_seed(seed, cfg), cfg)
+}
+
+/// [`run_seed`] without log retention ([`Retention::Quiet`]) — the
+/// sweep engine's per-seed workhorse.
+pub fn run_seed_quiet(seed: u64, cfg: &ScenarioCfg) -> Observation {
+    run_schedule_with(&Schedule::from_seed(seed, cfg), cfg, Retention::Quiet)
 }
 
 #[cfg(test)]

@@ -11,17 +11,41 @@
 //! complete schedule, reproducible forever, and the decision log it
 //! leaves behind is byte-identical across runs.
 //!
-//! ### Dispatch protocol
+//! ### Dispatch protocol (direct handoff)
 //!
-//! * Registered ranks start as `{0..n}`; a rank leaves the set on
+//! * `n` ranks start registered; a rank leaves on
 //!   [`SchedHook::on_exit`].
-//! * A rank arriving at a step point parks in `waiting`. When *every*
-//!   registered rank is parked (nobody is running), the scheduler picks
-//!   one at random, logs `grant`, and wakes it.
+//! * A rank arriving at a step point parks in `waiting` — on its **own**
+//!   condition variable. When *every* registered rank is parked (nobody
+//!   is running), the scheduler picks one at random, logs `grant`, and
+//!   wakes **exactly that rank** (`notify_one` on its slot). The old
+//!   protocol notified a single shared condvar with `notify_all`, waking
+//!   all N parked ranks per grant so that N−1 could immediately re-park:
+//!   an O(ranks) syscall storm per logical step. Direct handoff makes a
+//!   grant O(1) wakeups; only budget exhaustion (run teardown) still
+//!   wakes everyone.
 //! * The number of grants is the **logical clock**. When it exceeds the
 //!   step budget the run is aborted — the deterministic replacement for
 //!   a wall-clock hang watchdog: a distributed hang is just a schedule
 //!   that keeps granting without anyone exiting.
+//!
+//! ### Pick-index stability
+//!
+//! `waiting` is a sorted `Vec<Rank>`, not a `BTreeSet`: granting is
+//! `waiting.remove(rng.below(len))`, an O(1) index into ascending rank
+//! order instead of the old O(ranks) `iter().nth(idx)` tree walk. The
+//! idx-th smallest waiting rank is the same rank the tree walk
+//! returned, so the seed → schedule mapping is frozen — pinned by the
+//! golden-log tests (`tests/golden_logs.rs`).
+//!
+//! ### Recording toggle (zero-retention exploration)
+//!
+//! [`Scheduler::new`] records every decision into the log (replay,
+//! shrinking, tests). [`Scheduler::quiet`] runs the *same* schedule —
+//! every PRNG stream advances identically — but retains nothing: no
+//! `SchedEvent` allocation per step, no delay list. Exploration sweeps
+//! run quiet; a failing seed is simply re-run recorded (same seed, same
+//! schedule, by determinism) when its log is wanted.
 //!
 //! ### Delays
 //!
@@ -41,7 +65,8 @@
 //! runtime would wedge the simulation and must not be used under it.
 
 use std::collections::BTreeSet;
-use std::sync::Mutex;
+use std::fmt::Write as _;
+use std::sync::{Condvar, Mutex};
 
 use faultsim::{ChoiceKind, Rank, SchedHook, SchedPoint, StepOutcome};
 
@@ -135,10 +160,15 @@ impl std::fmt::Display for SchedEvent {
 const DELAY_WEIGHT: u64 = 4;
 
 struct Inner {
-    /// Ranks whose threads are still inside the universe.
-    registered: BTreeSet<Rank>,
-    /// Registered ranks currently parked at a step point.
-    waiting: BTreeSet<Rank>,
+    /// Ranks whose threads are still inside the universe. A count
+    /// suffices: `waiting ⊆ registered` (an exited rank never steps
+    /// again), and dispatch only compares sizes.
+    registered: usize,
+    /// Registered ranks currently parked at a step point, in ascending
+    /// rank order. `waiting[idx]` is the idx-th smallest — exactly what
+    /// `BTreeSet::iter().nth(idx)` returned — so grants stay
+    /// pick-index-stable while indexing is O(1).
+    waiting: Vec<Rank>,
     /// The rank holding the execution token, if any.
     running: Option<Rank>,
     /// Grant and waitany/anysource decisions. Kept separate from the
@@ -153,6 +183,10 @@ struct Inner {
     rng_amount: SplitMix64,
     steps: u64,
     aborted: bool,
+    /// When false (`Scheduler::quiet`), no event or delay-call history
+    /// is retained — the PRNG streams still advance identically, so the
+    /// schedule is the same, only log-free.
+    record: bool,
     log: Vec<SchedEvent>,
     /// Global drain-call counter (handle for the delay mask).
     drain_calls: u64,
@@ -166,32 +200,48 @@ struct Inner {
 /// [`ftmpi::UniverseConfig::sim`].
 pub struct Scheduler {
     inner: Mutex<Inner>,
-    cv: std::sync::Condvar,
+    /// One parking slot per rank: a grant wakes exactly the granted
+    /// rank. Every slot waits on the same `inner` mutex.
+    slots: Vec<Condvar>,
     budget: u64,
 }
 
 impl Scheduler {
-    /// Exploration-mode scheduler for `n` ranks: every decision drawn
-    /// from `seed`, hang declared after `budget` grants.
-    pub fn new(n: usize, seed: u64, budget: u64) -> Self {
+    fn build(n: usize, seed: u64, budget: u64, record: bool) -> Self {
         Scheduler {
             inner: Mutex::new(Inner {
-                registered: (0..n).collect(),
-                waiting: BTreeSet::new(),
+                registered: n,
+                waiting: Vec::with_capacity(n),
                 running: None,
                 rng: SplitMix64::new(seed),
                 rng_delay: SplitMix64::new(seed ^ 0x64656C_61797321),
                 rng_amount: SplitMix64::new(seed ^ 0x616D6F_756E7421),
                 steps: 0,
                 aborted: false,
+                record,
                 log: Vec::new(),
                 drain_calls: 0,
                 delays: Vec::new(),
                 delay_mask: None,
             }),
-            cv: std::sync::Condvar::new(),
+            slots: (0..n).map(|_| Condvar::new()).collect(),
             budget,
         }
+    }
+
+    /// Exploration-mode scheduler for `n` ranks: every decision drawn
+    /// from `seed`, hang declared after `budget` grants. Records the
+    /// full decision log.
+    pub fn new(n: usize, seed: u64, budget: u64) -> Self {
+        Scheduler::build(n, seed, budget, true)
+    }
+
+    /// Zero-retention variant of [`Scheduler::new`]: the identical
+    /// schedule (every PRNG stream advances the same way) with no
+    /// decision log and no delay list. Sweeps run quiet; a failing seed
+    /// is re-run recorded to recover its log deterministically.
+    pub fn quiet(n: usize, seed: u64, budget: u64) -> Self {
+        Scheduler::build(n, seed, budget, false)
     }
 
     /// Shrink-mode scheduler: drain calls whose index is in `mask` are
@@ -204,12 +254,15 @@ impl Scheduler {
     }
 
     /// The decision log so far, one event per line — byte-identical for
-    /// identical `(seed, kills, mask)` inputs.
+    /// identical `(seed, kills, mask)` inputs. Empty for a
+    /// [`Scheduler::quiet`] scheduler.
     pub fn log_text(&self) -> String {
         let inner = self.inner.lock().unwrap();
-        let mut out = String::new();
+        // One buffer, `fmt::Write` appends — no per-line `format!`
+        // allocation. ~16 bytes of payload per line plus the prefix.
+        let mut out = String::with_capacity(inner.log.len() * 24);
         for (i, ev) in inner.log.iter().enumerate() {
-            out.push_str(&format!("{i:06} {ev}\n"));
+            let _ = writeln!(out, "{i:06} {ev}");
         }
         out
     }
@@ -220,15 +273,18 @@ impl Scheduler {
     }
 
     /// Drain-call indices that delayed delivery (the schedule's
-    /// delay-set, the shrinker's second dimension).
+    /// delay-set, the shrinker's second dimension). Empty for a
+    /// [`Scheduler::quiet`] scheduler.
     pub fn delay_calls(&self) -> Vec<u64> {
         self.inner.lock().unwrap().delays.clone()
     }
 
     /// Whether the logical-step watchdog fired.
     pub fn budget_exhausted(&self) -> bool {
-        let inner = self.inner.lock().unwrap();
-        inner.log.iter().any(|e| matches!(e, SchedEvent::Budget))
+        // The `aborted` flag is set exactly when the Budget event is
+        // (would be) logged, so this is O(1) and recording-independent
+        // — the old implementation scanned the whole log.
+        self.inner.lock().unwrap().aborted
     }
 
     /// Grants issued so far (the logical clock).
@@ -237,28 +293,50 @@ impl Scheduler {
     }
 
     /// Grant the token to a random parked rank if everyone registered
-    /// is parked. Must be called with the lock held; notifies on any
-    /// state change.
+    /// is parked. Must be called with the lock held; wakes exactly the
+    /// granted rank (or everyone, on budget exhaustion).
     fn try_dispatch(&self, inner: &mut Inner) {
         if inner.aborted || inner.running.is_some() || inner.waiting.is_empty() {
             return;
         }
-        if inner.waiting.len() != inner.registered.len() {
+        if inner.waiting.len() != inner.registered {
             return; // somebody is still running toward a step point
         }
         inner.steps += 1;
         if inner.steps > self.budget {
             inner.aborted = true;
-            inner.log.push(SchedEvent::Budget);
-            self.cv.notify_all();
+            if inner.record {
+                inner.log.push(SchedEvent::Budget);
+            }
+            // Teardown is the one event every parked rank must see.
+            for slot in &self.slots {
+                slot.notify_all();
+            }
             return;
         }
         let idx = inner.rng.below(inner.waiting.len());
-        let rank = *inner.waiting.iter().nth(idx).expect("index in range");
-        inner.waiting.remove(&rank);
+        let rank = inner.waiting.remove(idx);
         inner.running = Some(rank);
-        inner.log.push(SchedEvent::Grant { rank });
-        self.cv.notify_all();
+        if inner.record {
+            inner.log.push(SchedEvent::Grant { rank });
+        }
+        // Direct handoff: the granted rank is the only thread whose
+        // wake condition changed.
+        self.slots[rank].notify_one();
+    }
+
+    /// Insert `rank` into the sorted waiting list (it is never already
+    /// present: a rank parks only while it holds no token).
+    fn park(inner: &mut Inner, rank: Rank) {
+        let pos = inner.waiting.binary_search(&rank).unwrap_err();
+        inner.waiting.insert(pos, rank);
+    }
+
+    /// Remove `rank` from the waiting list if present.
+    fn unpark(inner: &mut Inner, rank: Rank) {
+        if let Ok(pos) = inner.waiting.binary_search(&rank) {
+            inner.waiting.remove(pos);
+        }
     }
 }
 
@@ -268,19 +346,19 @@ impl SchedHook for Scheduler {
         if inner.running == Some(rank) {
             inner.running = None;
         }
-        inner.waiting.insert(rank);
+        Scheduler::park(&mut inner, rank);
         self.try_dispatch(&mut inner);
         loop {
             if inner.aborted {
                 // Leave the waiting set so a concurrent accounting pass
                 // never sees a phantom parked rank.
-                inner.waiting.remove(&rank);
+                Scheduler::unpark(&mut inner, rank);
                 return StepOutcome::Abort;
             }
             if inner.running == Some(rank) {
                 return StepOutcome::Run;
             }
-            inner = self.cv.wait(inner).unwrap();
+            inner = self.slots[rank].wait(inner).unwrap();
         }
     }
 
@@ -299,32 +377,40 @@ impl SchedHook for Scheduler {
                     None => q > 0 && inner.rng_delay.next_u64() % 16 < DELAY_WEIGHT,
                 };
                 let pick = if delay && q > 0 { inner.rng_amount.below(q) } else { q };
-                if pick < q {
+                if pick < q && inner.record {
                     inner.delays.push(call);
                 }
                 (pick, Some(call))
             }
             ChoiceKind::WaitAny | ChoiceKind::AnySource => (inner.rng.below(n), None),
         };
-        inner.log.push(SchedEvent::Choice { rank, kind, n, pick, call });
+        if inner.record {
+            inner.log.push(SchedEvent::Choice { rank, kind, n, pick, call });
+        }
         pick
     }
 
     fn on_exit(&self, rank: Rank) {
         let mut inner = self.inner.lock().unwrap();
-        inner.registered.remove(&rank);
-        inner.waiting.remove(&rank);
+        inner.registered = inner.registered.saturating_sub(1);
+        Scheduler::unpark(&mut inner, rank);
         if inner.running == Some(rank) {
             inner.running = None;
         }
-        inner.log.push(SchedEvent::Exit { rank });
+        if inner.record {
+            inner.log.push(SchedEvent::Exit { rank });
+        }
+        // The exit may have completed the "everyone parked" condition;
+        // dispatch wakes whoever is granted. No other rank's wake
+        // condition changes, so no broadcast is needed.
         self.try_dispatch(&mut inner);
-        self.cv.notify_all();
     }
 
     fn on_kill(&self, victim: Rank) {
         let mut inner = self.inner.lock().unwrap();
-        inner.log.push(SchedEvent::Kill { victim });
+        if inner.record {
+            inner.log.push(SchedEvent::Kill { victim });
+        }
     }
 
     fn now(&self) -> u64 {
@@ -389,6 +475,48 @@ mod tests {
         }
         assert!(sched.budget_exhausted());
         assert!(sched.steps() > 25);
+    }
+
+    #[test]
+    fn quiet_scheduler_runs_the_same_schedule_logfree() {
+        // Drive recorded and quiet schedulers through an identical call
+        // sequence: picks must match draw for draw, while the quiet one
+        // retains nothing.
+        let recorded = Scheduler::new(1, 77, 1000);
+        let quiet = Scheduler::quiet(1, 77, 1000);
+        for n in [4usize, 2, 7, 3, 5] {
+            assert_eq!(
+                recorded.choose(0, ChoiceKind::Drain, n),
+                quiet.choose(0, ChoiceKind::Drain, n)
+            );
+            assert_eq!(
+                recorded.choose(0, ChoiceKind::WaitAny, n),
+                quiet.choose(0, ChoiceKind::WaitAny, n)
+            );
+        }
+        assert!(!recorded.events().is_empty());
+        assert!(quiet.events().is_empty());
+        assert!(quiet.log_text().is_empty());
+        assert!(quiet.delay_calls().is_empty());
+        assert!(!recorded.delay_calls().is_empty() || recorded.delay_calls().is_empty());
+    }
+
+    #[test]
+    fn quiet_budget_exhaustion_is_still_visible() {
+        let sched = Arc::new(Scheduler::quiet(2, 1, 25));
+        let mut handles = Vec::new();
+        for me in 0..2 {
+            let s = Arc::clone(&sched);
+            handles.push(std::thread::spawn(move || {
+                while s.step(me, SchedPoint::Tick) == StepOutcome::Run {}
+                s.on_exit(me);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(sched.budget_exhausted(), "aborted flag works without the log");
+        assert!(sched.events().is_empty());
     }
 
     #[test]

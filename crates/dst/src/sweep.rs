@@ -31,7 +31,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::oracle::check_all;
-use crate::scenario::{run_seed, ScenarioCfg};
+use crate::scenario::{run_seed_quiet, ScenarioCfg};
 use crate::shrink::shrink;
 
 /// Seeds claimed per cursor pull. Small enough that workers stay
@@ -236,10 +236,17 @@ impl Aggregate {
     }
 }
 
-/// Run one seed and fold it into a verdict; the observation (and its
-/// decision log) dies here, which is what bounds sweep memory.
+/// Run one seed and fold it into a verdict.
+///
+/// Seeds run **zero-retention** ([`run_seed_quiet`]): the scheduler
+/// never accumulates a decision log or delay list, because the oracles
+/// judge only the trace, outcomes, stats and hang flags. Nothing is
+/// lost: the summary carries the seed, and replay/shrinking re-run it
+/// with full recording — determinism makes the re-run the identical
+/// schedule, so the log is recoverable on demand instead of being paid
+/// for on every green seed.
 fn verdict_of(seed: u64, scenario: &ScenarioCfg) -> (bool, Option<FailureSummary>) {
-    let obs = run_seed(seed, scenario);
+    let obs = run_seed_quiet(seed, scenario);
     let violations = check_all(&obs);
     if violations.is_empty() {
         return (obs.hung, None);

@@ -1,0 +1,98 @@
+//! Golden-log pin: the determinism contract the scheduler hot path
+//! must never break.
+//!
+//! For a fixed seed set (seeds `0..32` at 4 and 8 ranks, hardened
+//! ring) the scheduler's decision log must stay **byte-identical**
+//! across code changes: replay (`dst replay --seed`) and ddmin
+//! shrinking are only sound if the seed → schedule mapping is frozen.
+//! The rendered logs are committed under `tests/golden/` and compared
+//! verbatim; any optimization that reorders a grant, renumbers a
+//! drain call, or changes a pick is caught here before it silently
+//! invalidates every recorded failing seed.
+//!
+//! Regenerate after an *intentional* schedule-mapping change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p dst --test golden_logs
+//! ```
+//!
+//! and justify the regeneration in the commit message — it orphans
+//! all previously recorded seeds.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use dst::{run_seed, ScenarioCfg};
+
+/// Pinned seed set. Small enough to run in CI on every push, wide
+/// enough to exercise kills (0–2 per seed), delays, any-source picks
+/// and waitany picks at both rank counts.
+const SEEDS: std::ops::Range<u64> = 0..32;
+
+fn golden_path(ranks: usize) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("decision_logs_r{ranks}.txt"))
+}
+
+fn render(ranks: usize) -> String {
+    let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+    let mut out = String::new();
+    for seed in SEEDS {
+        let obs = run_seed(seed, &cfg);
+        writeln!(out, "=== seed {seed:#x} ranks {ranks} ===").unwrap();
+        out.push_str(&obs.log);
+    }
+    out
+}
+
+fn check(ranks: usize) {
+    let rendered = render(ranks);
+    let path = golden_path(ranks);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden log {} ({e}); generate it with \
+             GOLDEN_REGEN=1 cargo test -p dst --test golden_logs",
+            path.display()
+        )
+    });
+    if golden == rendered {
+        return;
+    }
+    // Find the first divergent line so the failure names the exact
+    // decision that moved, not just "files differ".
+    for (i, (g, r)) in golden.lines().zip(rendered.lines()).enumerate() {
+        if g != r {
+            panic!(
+                "decision log diverged from golden at {} line {}:\n  golden:  {g}\n  current: {r}\n\
+                 the seed → schedule mapping changed; this breaks replay and \
+                 shrinking of every recorded seed",
+                path.display(),
+                i + 1,
+            );
+        }
+    }
+    panic!(
+        "decision log diverged from golden {} in length only \
+         (golden {} lines, current {} lines)",
+        path.display(),
+        golden.lines().count(),
+        rendered.lines().count(),
+    );
+}
+
+#[test]
+fn decision_logs_byte_identical_r4() {
+    check(4);
+}
+
+#[test]
+fn decision_logs_byte_identical_r8() {
+    check(8);
+}

@@ -83,6 +83,12 @@ pub(crate) struct MatchEngine {
     unexpected: VecDeque<Envelope>,
     /// Pending receive requests in post order.
     posted: Vec<Request>,
+    /// Scratch for ANY_SOURCE candidate collection (queue positions of
+    /// per-sender head envelopes). Kept on the engine so the per-receive
+    /// allocations of the old scheme are paid once, not per call.
+    scratch_firsts: Vec<usize>,
+    /// Scratch: senders already holding a candidate slot.
+    scratch_seen: Vec<CommRank>,
 }
 
 impl MatchEngine {
@@ -125,18 +131,35 @@ impl MatchEngine {
         spec: &MatchSpec,
         pick: impl FnOnce(usize) -> usize,
     ) -> Option<(crate::error::Result<Completion>, TakenMeta)> {
-        let mut firsts: Vec<usize> = Vec::new();
-        let mut seen: Vec<CommRank> = Vec::new();
-        for (pos, env) in self.unexpected.iter().enumerate() {
-            if spec.matches(env) && !seen.contains(&env.src_comm) {
-                seen.push(env.src_comm);
-                firsts.push(pos);
+        let pos = match spec.src {
+            // Exact-source receive: every matching envelope shares one
+            // sender, so the per-sender-head rule collapses to "earliest
+            // match" — stop at the first hit instead of scanning the
+            // whole queue, and `pick` is (provably, as before) never
+            // consulted.
+            SrcSel::Exact(_) => {
+                match self.unexpected.iter().position(|env| spec.matches(env)) {
+                    Some(pos) => pos,
+                    None => return None,
+                }
             }
-        }
-        let pos = match firsts.len() {
-            0 => return None,
-            1 => firsts[0],
-            n => firsts[pick(n).min(n - 1)],
+            SrcSel::Any => {
+                let firsts = &mut self.scratch_firsts;
+                let seen = &mut self.scratch_seen;
+                firsts.clear();
+                seen.clear();
+                for (pos, env) in self.unexpected.iter().enumerate() {
+                    if spec.matches(env) && !seen.contains(&env.src_comm) {
+                        seen.push(env.src_comm);
+                        firsts.push(pos);
+                    }
+                }
+                match firsts.len() {
+                    0 => return None,
+                    1 => firsts[0],
+                    n => firsts[pick(n).min(n - 1)],
+                }
+            }
         };
         let env = self.unexpected.remove(pos).expect("position valid");
         let meta =
@@ -159,6 +182,12 @@ impl MatchEngine {
     /// receive, else queue as unexpected. Returns the request that
     /// completed, if any.
     pub(crate) fn ingest(&mut self, table: &mut ReqTable, env: Envelope) -> Option<Request> {
+        // Fast path: nothing posted (the common case while draining a
+        // burst) — straight to the unexpected queue, no table traffic.
+        if self.posted.is_empty() {
+            self.unexpected.push_back(env);
+            return None;
+        }
         for (i, req) in self.posted.iter().copied().enumerate() {
             // The posted list may contain requests completed by the
             // failure scan but not yet pruned; skip them.
@@ -185,9 +214,11 @@ impl MatchEngine {
         self.posted.retain(|r| table.is_pending(*r));
     }
 
-    /// Snapshot of the pending posted requests, in post order.
-    pub(crate) fn posted(&self) -> Vec<Request> {
-        self.posted.clone()
+    /// The pending posted requests, in post order. A borrow, not a
+    /// snapshot: the failure scan only iterates, so the old
+    /// full-`Vec` clone per scan was pure allocation churn.
+    pub(crate) fn posted_slice(&self) -> &[Request] {
+        &self.posted
     }
 
     /// Drop queued unexpected *system* (negative-tag) messages for a
@@ -344,6 +375,146 @@ mod tests {
         eng.register(r);
         eng.ingest(&mut table, env(1, 0, 0, b"b"));
         assert_eq!(&table.take(r).unwrap().unwrap().data[..], b"b");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of a random matching workload.
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// Post a receive (`None` = ANY_SOURCE / ANY_TAG).
+            Post { ctx: ContextId, src: Option<CommRank>, tag: Option<i32> },
+            /// Deliver an envelope.
+            Ingest { ctx: ContextId, src: CommRank, tag: i32 },
+            /// Try to consume from the unexpected queue; `pick` seeds
+            /// the ANY_SOURCE sender choice.
+            Take { ctx: ContextId, src: Option<CommRank>, tag: Option<i32>, pick: usize },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..2, prop::option::of(0usize..4), prop::option::of(0i32..3))
+                    .prop_map(|(ctx, src, tag)| Op::Post { ctx, src, tag }),
+                (0u64..2, 0usize..4, 0i32..3)
+                    .prop_map(|(ctx, src, tag)| Op::Ingest { ctx, src, tag }),
+                (0u64..2, prop::option::of(0usize..4), prop::option::of(0i32..3), 0usize..8)
+                    .prop_map(|(ctx, src, tag, pick)| Op::Take { ctx, src, tag, pick }),
+            ]
+        }
+
+        fn to_spec(ctx: ContextId, src: Option<CommRank>, tag: Option<i32>) -> MatchSpec {
+            MatchSpec {
+                context: ctx,
+                src: src.map_or(SrcSel::Any, SrcSel::Exact),
+                tag: tag.map_or(TagSel::Any, TagSel::Exact),
+            }
+        }
+
+        /// The pre-optimization `take_unexpected_with`: one linear scan
+        /// collecting per-sender head positions with `Vec::contains`
+        /// dedup, for *every* receive — the executable spec the indexed
+        /// fast paths must stay equivalent to.
+        fn reference_take(
+            unexpected: &mut Vec<Envelope>,
+            spec: &MatchSpec,
+            pick: usize,
+        ) -> Option<Envelope> {
+            let mut firsts: Vec<usize> = Vec::new();
+            let mut seen: Vec<CommRank> = Vec::new();
+            for (pos, env) in unexpected.iter().enumerate() {
+                if spec.matches(env) && !seen.contains(&env.src_comm) {
+                    seen.push(env.src_comm);
+                    firsts.push(pos);
+                }
+            }
+            let pos = match firsts.len() {
+                0 => return None,
+                1 => firsts[0],
+                n => firsts[pick.min(n - 1)],
+            };
+            Some(unexpected.remove(pos))
+        }
+
+        /// The pre-optimization `ingest`: scan posted receives in post
+        /// order, first match wins, else queue as unexpected.
+        fn reference_ingest(
+            posted: &mut Vec<(Request, MatchSpec)>,
+            unexpected: &mut Vec<Envelope>,
+            env: Envelope,
+        ) -> Option<Request> {
+            if let Some(i) = posted.iter().position(|(_, s)| s.matches(&env)) {
+                Some(posted.remove(i).0)
+            } else {
+                unexpected.push(env);
+                None
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+            /// Equivalence under load: for any interleaving of posts,
+            /// arrivals and takes, the optimized engine consumes the
+            /// *identical* envelope sequence (by seq number), completes
+            /// the identical requests, and leaves the identical
+            /// unexpected queue behind as the linear-scan reference.
+            #[test]
+            fn optimized_matching_equals_linear_scan_reference(
+                ops in prop::collection::vec(op_strategy(), 0usize..64),
+            ) {
+                let mut eng = MatchEngine::new();
+                let mut table = ReqTable::new();
+                let mut ref_posted: Vec<(Request, MatchSpec)> = Vec::new();
+                let mut ref_unexpected: Vec<Envelope> = Vec::new();
+                let mut seq = 0u64;
+
+                for op in ops {
+                    match op {
+                        Op::Post { ctx, src, tag } => {
+                            let spec = to_spec(ctx, src, tag);
+                            let req = table.insert(ReqBody::Recv(spec), ReqState::Pending);
+                            eng.register(req);
+                            ref_posted.push((req, spec));
+                        }
+                        Op::Ingest { ctx, src, tag } => {
+                            seq += 1;
+                            let mut e = env(src, ctx, tag, b"");
+                            e.seq = seq;
+                            let got = eng.ingest(&mut table, e.clone());
+                            let want =
+                                reference_ingest(&mut ref_posted, &mut ref_unexpected, e);
+                            prop_assert_eq!(got, want, "ingest completed a different request");
+                        }
+                        Op::Take { ctx, src, tag, pick } => {
+                            let spec = to_spec(ctx, src, tag);
+                            let got = eng.take_unexpected_with(&spec, |_| pick);
+                            let want = reference_take(&mut ref_unexpected, &spec, pick);
+                            match (got, want) {
+                                (None, None) => {}
+                                (Some((_, meta)), Some(e)) => {
+                                    prop_assert_eq!(meta.seq, e.seq, "took a different envelope");
+                                    prop_assert_eq!(meta.src, e.src_comm);
+                                    prop_assert_eq!(meta.tag, e.tag);
+                                }
+                                (got, want) => prop_assert!(
+                                    false,
+                                    "take diverged: engine {:?}, reference {:?}",
+                                    got.map(|(_, m)| m.seq),
+                                    want.map(|e| e.seq)
+                                ),
+                            }
+                        }
+                    }
+                }
+
+                // Final unexpected queues identical, element for element.
+                let left: Vec<u64> = eng.unexpected.iter().map(|e| e.seq).collect();
+                let right: Vec<u64> = ref_unexpected.iter().map(|e| e.seq).collect();
+                prop_assert_eq!(left, right, "residual unexpected queues diverged");
+            }
+        }
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub struct Process {
     pub(crate) reqs: ReqTable,
     engine: MatchEngine,
     send_seq: Vec<u64>,
+    /// Reusable drain buffer for [`Fabric::drain_into`]: one mailbox
+    /// drain per progress pass, zero steady-state allocations.
+    drain_buf: Vec<Envelope>,
 }
 
 impl Process {
@@ -106,6 +109,7 @@ impl Process {
             reqs: ReqTable::new(),
             engine: MatchEngine::new(),
             send_seq: vec![0; n],
+            drain_buf: Vec::new(),
         }
     }
 
@@ -246,19 +250,26 @@ impl Process {
 
     fn progress(&mut self) -> Result<()> {
         self.ensure_alive()?;
-        let (msgs, _) = match &self.shared.sched {
+        // Drain into the process-owned buffer so steady-state progress
+        // passes allocate nothing. Taken/restored around the loop to
+        // keep `self` borrowable inside it.
+        let mut msgs = std::mem::take(&mut self.drain_buf);
+        msgs.clear();
+        match &self.shared.sched {
             Some(s) => {
                 // Delivery becomes a scheduler decision: draining only a
                 // prefix models message delay without breaking FIFO.
                 let (s, me) = (Arc::clone(s), self.me);
                 self.shared
                     .fabric
-                    .drain_with(me, |n| s.choose(me, ChoiceKind::Drain, n + 1))
+                    .drain_into(me, |n| s.choose(me, ChoiceKind::Drain, n + 1), &mut msgs);
             }
-            None => self.shared.fabric.drain(self.me),
-        };
+            None => {
+                self.shared.fabric.drain_into(self.me, |n| n, &mut msgs);
+            }
+        }
         let tracing = self.shared.trace.enabled();
-        for env in msgs {
+        for env in msgs.drain(..) {
             let (src, ctx, tag, seq) = (env.src_comm, env.context, env.tag, env.seq);
             let matched = self.engine.ingest(&mut self.reqs, env);
             if tracing && matched.is_some() {
@@ -267,6 +278,7 @@ impl Process {
                     .record(Event::RecvMatch { dst: self.me, src, context: ctx, tag, seq });
             }
         }
+        self.drain_buf = msgs;
         self.failure_scan();
         self.poll_validates();
         self.poll_barriers();
@@ -277,9 +289,10 @@ impl Process {
     /// recognized). This is the mechanism behind "using `MPI_Irecv` as
     /// a failure detector" (paper §III-A).
     fn failure_scan(&mut self) {
-        let posted = self.engine.posted();
+        // Borrow the posted list in place — the scan only reads it, and
+        // completions go through `reqs` (pruning happens after, once).
         let mut dirty = false;
-        for req in posted {
+        for &req in self.engine.posted_slice() {
             let spec = match self.reqs.body(req) {
                 Ok(ReqBody::Recv(s)) => *s,
                 _ => continue,
@@ -341,7 +354,7 @@ impl Process {
                         round,
                         failed: failed_world.len(),
                     });
-                    self.shared.fabric.wake_all();
+                    self.shared.wake_all();
                 }
                 let registry = std::sync::Arc::clone(&self.shared);
                 let comm = &mut self.comms[ci];
@@ -370,7 +383,7 @@ impl Process {
             let polled = self.shared.bboard.poll(comm.ctx, round, &self.shared.registry);
             if let Some((outcome, newly)) = polled {
                 if newly {
-                    self.shared.fabric.wake_all();
+                    self.shared.wake_all();
                 }
                 let result = match outcome {
                     crate::nbc::BarrierOutcome::Ok => Ok(Completion::send()),
@@ -986,7 +999,7 @@ impl Process {
         };
         self.shared.board.split_submit(parent_ctx, n, self.me, color, key);
         // Our submission may complete the rendezvous for everyone.
-        self.shared.fabric.wake_all();
+        self.shared.wake_all();
         let me = self.me;
         let result = self.wait_loop(move |p| {
             Ok(p.shared
@@ -994,7 +1007,7 @@ impl Process {
                 .split_poll(parent_ctx, n, me, &group, &p.shared.registry)
                 .map(|(res, newly)| {
                     if newly {
-                        p.shared.fabric.wake_all();
+                        p.shared.wake_all();
                     }
                     res
                 }))

@@ -16,7 +16,12 @@
 //! * **No lost wake-ups** — parking re-checks versions under the same
 //!   lock the notifier takes, and a bounded timed wait backstops any
 //!   future bug in the notification protocol.
+//! * **Single parker per slot** — only the owning rank ever waits on
+//!   its slot's condvar ([`Fabric::park`] is called with `me` by `me`'s
+//!   own thread), so every wake path uses `notify_one`: it wakes the
+//!   one possible waiter, or nobody, and never pays a broadcast.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -30,7 +35,9 @@ use crate::rank::WorldRank;
 const PARK_SAFETY: Duration = Duration::from_millis(50);
 
 struct Mailbox {
-    queue: Vec<Envelope>,
+    /// Ring buffer so draining a prefix shifts head indices, not
+    /// envelopes.
+    queue: VecDeque<Envelope>,
     /// Bumped on every delivery; lets parkers detect missed pushes.
     version: u64,
 }
@@ -62,7 +69,7 @@ impl Fabric {
         Fabric {
             slots: (0..n)
                 .map(|_| Slot {
-                    mb: Mutex::new(Mailbox { queue: Vec::new(), version: 0 }),
+                    mb: Mutex::new(Mailbox { queue: VecDeque::new(), version: 0 }),
                     cv: Condvar::new(),
                 })
                 .collect(),
@@ -85,38 +92,61 @@ impl Fabric {
         let slot = &self.slots[dst];
         {
             let mut mb = slot.mb.lock();
-            mb.queue.push(env);
+            mb.queue.push_back(env);
             mb.version += 1;
         }
-        slot.cv.notify_all();
+        // Single parker per slot: at most `dst`'s own thread waits here.
+        slot.cv.notify_one();
     }
 
     /// Drain every queued envelope for `me`, in arrival order, together
     /// with the mailbox version at drain time.
+    #[allow(dead_code)] // convenience form, exercised by unit tests
     pub fn drain(&self, me: WorldRank) -> (Vec<Envelope>, u64) {
         self.drain_with(me, |n| n)
     }
 
-    /// Drain a scheduler-chosen prefix of `me`'s queue: `pick(n)` is
-    /// called with the queue length `n >= 1` and the first
-    /// `min(pick(n), n)` envelopes are delivered now, the rest stay
-    /// queued (a deterministic message delay — see `faultsim::sched`).
-    /// Taking a prefix preserves per-pair FIFO: a delayed message only
-    /// ever delays everything behind it.
+    /// [`Fabric::drain_into`], allocating a fresh Vec. Convenience for
+    /// tests and one-shot callers; the progress hot path reuses a
+    /// buffer instead.
+    #[allow(dead_code)] // convenience form, exercised by unit tests
     pub fn drain_with(
         &self,
         me: WorldRank,
         pick: impl FnOnce(usize) -> usize,
     ) -> (Vec<Envelope>, u64) {
+        let mut out = Vec::new();
+        let version = self.drain_into(me, pick, &mut out);
+        (out, version)
+    }
+
+    /// Drain a scheduler-chosen prefix of `me`'s queue into `out`:
+    /// `pick(n)` is called with the queue length `n >= 1` and the first
+    /// `min(pick(n), n)` envelopes are appended to `out`, the rest stay
+    /// queued (a deterministic message delay — see `faultsim::sched`).
+    /// Taking a prefix preserves per-pair FIFO: a delayed message only
+    /// ever delays everything behind it. Returns the mailbox version at
+    /// drain time.
+    ///
+    /// `out` is a caller-owned buffer precisely so the per-progress-pass
+    /// allocation churn of the old `split_off`/`replace` scheme (two
+    /// Vec allocations per non-empty drain) is gone: the ring buffer
+    /// pops from the front in place and `out`'s capacity is reused
+    /// across passes.
+    pub fn drain_into(
+        &self,
+        me: WorldRank,
+        pick: impl FnOnce(usize) -> usize,
+        out: &mut Vec<Envelope>,
+    ) -> u64 {
         let mut mb = self.slots[me].mb.lock();
         let n = mb.queue.len();
         if n == 0 {
-            return (Vec::new(), mb.version);
+            return mb.version;
         }
         let k = pick(n).min(n);
-        let rest = mb.queue.split_off(k);
-        let out = std::mem::replace(&mut mb.queue, rest);
-        (out, mb.version)
+        out.extend(mb.queue.drain(..k));
+        mb.version
     }
 
     /// Snapshot the park token for `me`. Take this *before* scanning
@@ -153,9 +183,10 @@ impl Fabric {
         self.notify_gen.fetch_add(1, Ordering::AcqRel);
         for slot in &self.slots {
             // Take the lock to serialize with parkers' predicate checks,
-            // eliminating the notify-before-wait race.
+            // eliminating the notify-before-wait race. notify_one is
+            // exact: each slot has at most one parker (its owner).
             let _guard = slot.mb.lock();
-            slot.cv.notify_all();
+            slot.cv.notify_one();
         }
     }
 
@@ -167,12 +198,12 @@ impl Fabric {
         mb.version += 1;
     }
 
-    /// Wake a single rank.
+    /// Wake a single rank (its own thread is the only possible waiter).
     #[allow(dead_code)]
     pub fn wake(&self, rank: WorldRank) {
         let slot = &self.slots[rank];
         let _guard = slot.mb.lock();
-        slot.cv.notify_all();
+        slot.cv.notify_one();
     }
 }
 

@@ -55,6 +55,17 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// Wake every rank parked on the fabric — unless this universe is
+    /// scheduler-driven, in which case ranks never park there (the
+    /// `wait_loop` skips `Fabric::park` under simulation and blocks in
+    /// the scheduler instead), so the per-slot lock sweep would be pure
+    /// overhead on the simulation hot path.
+    pub(crate) fn wake_all(&self) {
+        if self.sched.is_none() {
+            self.fabric.wake_all();
+        }
+    }
+
     /// Fail-stop `rank`: registry transition + trace + wake everyone.
     pub(crate) fn kill(&self, rank: WorldRank) {
         if self.registry.kill(rank) {
@@ -62,7 +73,7 @@ impl Shared {
             if let Some(s) = &self.sched {
                 s.on_kill(rank);
             }
-            self.fabric.wake_all();
+            self.wake_all();
         }
     }
 
@@ -73,7 +84,7 @@ impl Shared {
         let gen = self.registry.respawn(rank)?;
         self.fabric.clear(rank);
         self.trace.record(Event::Respawned { rank, generation: gen });
-        self.fabric.wake_all();
+        self.wake_all();
         Some(gen)
     }
 
@@ -81,7 +92,7 @@ impl Shared {
     pub(crate) fn abort(&self, code: i32) {
         if self.registry.abort(code) {
             self.trace.record(Event::Aborted { code });
-            self.fabric.wake_all();
+            self.wake_all();
         }
     }
 }

@@ -6,11 +6,38 @@
 //! in a container with no crates.io access.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
+
+/// Quick mode (`cargo bench -- --quick`): clamp sampling so a whole
+/// bench target finishes in seconds — the CI smoke-run setting. Gross
+/// regressions still show; fine-grained comparisons need a full run.
+static QUICK: AtomicBool = AtomicBool::new(false);
+
+/// Whether `--quick` was requested.
+pub fn quick_mode() -> bool {
+    QUICK.load(Ordering::Relaxed)
+}
+
+/// Parse the CLI arguments cargo forwards after `--`. Recognizes
+/// `--quick`; everything else (e.g. harness filters this shim does not
+/// implement) is ignored, matching the real crate's tolerance.
+pub fn init_from_args(args: impl Iterator<Item = String>) {
+    for a in args {
+        if a == "--quick" {
+            QUICK.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Sampling caps applied in quick mode.
+const QUICK_SAMPLES: usize = 3;
+const QUICK_WARM_UP: Duration = Duration::from_millis(50);
+const QUICK_MEASURE: Duration = Duration::from_millis(500);
 
 /// Identifier for one benchmark within a group: `function_name/param`.
 pub struct BenchmarkId {
@@ -103,24 +130,33 @@ impl BenchmarkGroup<'_> {
 
     fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         let _ = &self.criterion; // reserved for global config
-        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size + 1) };
+        let (samples, warm_up, measure) = if quick_mode() {
+            (
+                self.sample_size.min(QUICK_SAMPLES),
+                self.warm_up_time.min(QUICK_WARM_UP),
+                self.measurement_time.min(QUICK_MEASURE),
+            )
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
+        let mut b = Bencher { samples: Vec::with_capacity(samples + 1) };
 
         // Warm-up: at least one run, then keep going until the warm-up
         // budget is spent.
         let warm_start = Instant::now();
         loop {
             f(&mut b);
-            if warm_start.elapsed() >= self.warm_up_time {
+            if warm_start.elapsed() >= warm_up {
                 break;
             }
         }
         b.samples.clear();
 
         let measure_start = Instant::now();
-        while b.samples.len() < self.sample_size {
+        while b.samples.len() < samples {
             f(&mut b);
             // Respect the time budget once at least one sample exists.
-            if measure_start.elapsed() >= self.measurement_time && !b.samples.is_empty() {
+            if measure_start.elapsed() >= measure && !b.samples.is_empty() {
                 break;
             }
         }
@@ -189,6 +225,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_args(::std::env::args().skip(1));
             $( $group(); )+
         }
     };
@@ -197,6 +234,16 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quick_flag_parses_and_unknown_args_are_ignored() {
+        init_from_args(["--bench".to_string(), "somefilter".to_string()].into_iter());
+        // note: cannot assert it is *unset* here — tests share the
+        // process-global — only that unknown args alone never set it
+        // and that --quick does.
+        init_from_args(["--quick".to_string()].into_iter());
+        assert!(quick_mode());
+    }
 
     #[test]
     fn group_runs_requested_samples() {

@@ -166,6 +166,28 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
     impl_tuple_strategy!(A, B, C, D, E, F, G);
     impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Uniform choice among type-erased alternatives — the engine
+    /// behind [`crate::prop_oneof!`]. The real crate supports weighted
+    /// arms; this workspace only uses the unweighted form.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            (self.arms[i])(rng)
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -278,7 +300,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     /// Namespace mirror so `prop::collection::vec` etc. resolve.
     pub mod prop {
@@ -324,6 +346,21 @@ macro_rules! prop_assert_eq {
                 }
             }
         }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
     };
 }
 
