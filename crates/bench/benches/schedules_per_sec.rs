@@ -1,12 +1,16 @@
 //! Experiment **DST throughput**: how many complete deterministic
 //! schedules the simulation harness explores per second.
 //!
-//! Two series:
+//! Three series:
 //!
 //! * `explore/{ranks}` — one full seeded schedule of the hardened ring
-//!   per element, run serially: serialize every rank through the
-//!   scheduler, inject the seed-derived kills, run all applicable
-//!   oracles. The per-seed cost floor.
+//!   per element, run serially on a persistent executor pool:
+//!   serialize every rank through the scheduler, inject the
+//!   seed-derived kills, run all applicable oracles. The per-seed cost
+//!   floor.
+//! * `explore_nopool/{ranks}` — the same work spawning fresh rank
+//!   threads per schedule (the `--no-pool` path). The gap to
+//!   `explore/{ranks}` is the pool's win.
 //! * `sweep_jobs/{jobs}` — the same work driven through the parallel
 //!   sweep engine at increasing worker counts. The ratio between
 //!   `sweep_jobs/1` and `sweep_jobs/N` is the wall-clock multiplier a
@@ -19,7 +23,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use dst::{check_all, run_seed, sweep, ScenarioCfg, SweepCfg};
+use dst::{check_all, run_seed, sweep, ScenarioCfg, SeedRunner, SweepCfg};
 
 fn bench_schedules_per_sec(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedules_per_sec");
@@ -41,6 +45,18 @@ fn bench_schedules_per_sec(c: &mut Criterion) {
     for ranks in [4usize, 8] {
         let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
         group.bench_with_input(BenchmarkId::new("explore", ranks), &cfg, |b, cfg| {
+            let mut runner = SeedRunner::new(cfg.ranks);
+            let mut next_seed = 0u64;
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    let obs = runner.run_seed(next_seed, cfg);
+                    next_seed = (next_seed + 1) % SEED_SPACE;
+                    let violations = check_all(&obs);
+                    assert!(violations.is_empty(), "seed violated: {violations:?}");
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("explore_nopool", ranks), &cfg, |b, cfg| {
             let mut next_seed = 0u64;
             b.iter(|| {
                 for _ in 0..BATCH {
@@ -76,6 +92,7 @@ fn bench_schedules_per_sec(c: &mut Criterion) {
                     jobs,
                     max_failures: 100,
                     shrink_failures: false,
+                    use_pool: true,
                 };
                 // Wrap the 64-seed window inside the validated space.
                 next_start = (next_start + SWEEP_BATCH) % (SEED_SPACE - SWEEP_BATCH);

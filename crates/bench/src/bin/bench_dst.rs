@@ -7,6 +7,11 @@
 //! — so the perf trajectory is a committed artifact, not folklore in PR
 //! descriptions.
 //!
+//! The tracked ids measure the default (pooled) executor: each series
+//! reuses one persistent rank-executor pool across schedules. The
+//! `*_nopool` twins measure the spawn-per-run fallback (`--no-pool`),
+//! so the pool's win stays a committed, comparable number.
+//!
 //! Usage:
 //!
 //! ```text
@@ -20,7 +25,7 @@
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use dst::{check_all, run_seed_quiet, sweep, ScenarioCfg, SweepCfg};
+use dst::{check_all, run_seed_quiet, sweep, ScenarioCfg, SeedRunner, SweepCfg};
 
 /// One measured series.
 struct Entry {
@@ -86,10 +91,27 @@ fn main() {
     const SEED_SPACE: u64 = 2000;
 
     // Serial per-seed cost: one full schedule (sim + oracles) per item,
-    // exactly the sweep engine's inner loop (zero-retention run).
+    // exactly the sweep engine's inner loop (zero-retention run). The
+    // tracked `explore/{ranks}` id is the pooled path (one SeedRunner
+    // reused across every schedule); `explore_nopool/{ranks}` is the
+    // spawn-per-run baseline.
     const EXPLORE_BATCH: u64 = 10;
     for ranks in [4usize, 8] {
         let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+
+        let mut runner = SeedRunner::new(ranks);
+        let (rate, batches, schedules, elapsed) =
+            measure(EXPLORE_BATCH, window, |round| {
+                let base = round * EXPLORE_BATCH;
+                for s in (base..base + EXPLORE_BATCH).map(|s| s % SEED_SPACE) {
+                    let obs = runner.run_seed_quiet(s, &cfg);
+                    let violations = check_all(&obs);
+                    assert!(violations.is_empty(), "seed {s:#x} violated: {violations:?}");
+                }
+            });
+        eprintln!("explore/{ranks}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})");
+        entries.push(Entry { id: format!("explore/{ranks}"), rate, batches, schedules, elapsed });
+
         let (rate, batches, schedules, elapsed) =
             measure(EXPLORE_BATCH, window, |round| {
                 let base = round * EXPLORE_BATCH;
@@ -99,29 +121,46 @@ fn main() {
                     assert!(violations.is_empty(), "seed {s:#x} violated: {violations:?}");
                 }
             });
-        eprintln!("explore/{ranks}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})");
-        entries.push(Entry { id: format!("explore/{ranks}"), rate, batches, schedules, elapsed });
+        eprintln!(
+            "explore_nopool/{ranks}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})"
+        );
+        entries.push(Entry {
+            id: format!("explore_nopool/{ranks}"),
+            rate,
+            batches,
+            schedules,
+            elapsed,
+        });
     }
 
-    // The parallel engine at the tracked worker counts.
+    // The parallel engine at the tracked worker counts, pooled
+    // (default) and spawn-per-run.
     const SWEEP_BATCH: u64 = 64;
     let cfg = ScenarioCfg::default();
-    for jobs in [1usize, 8] {
-        let (rate, batches, schedules, elapsed) =
-            measure(SWEEP_BATCH, window, |round| {
-                let sweep_cfg = SweepCfg {
-                    // Wrap the 64-seed window inside the validated space.
-                    start: (round % (SEED_SPACE / SWEEP_BATCH)) * SWEEP_BATCH,
-                    count: SWEEP_BATCH,
-                    jobs,
-                    max_failures: 100,
-                    shrink_failures: false,
-                };
-                let report = sweep(&sweep_cfg, &cfg).expect("valid sweep");
-                assert_eq!(report.failing, 0, "hardened corpus must stay green");
-            });
-        eprintln!("sweep_jobs/{jobs}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})");
-        entries.push(Entry { id: format!("sweep_jobs/{jobs}"), rate, batches, schedules, elapsed });
+    for use_pool in [true, false] {
+        for jobs in [1usize, 8] {
+            let (rate, batches, schedules, elapsed) =
+                measure(SWEEP_BATCH, window, |round| {
+                    let sweep_cfg = SweepCfg {
+                        // Wrap the 64-seed window inside the validated space.
+                        start: (round % (SEED_SPACE / SWEEP_BATCH)) * SWEEP_BATCH,
+                        count: SWEEP_BATCH,
+                        jobs,
+                        max_failures: 100,
+                        shrink_failures: false,
+                        use_pool,
+                    };
+                    let report = sweep(&sweep_cfg, &cfg).expect("valid sweep");
+                    assert_eq!(report.failing, 0, "hardened corpus must stay green");
+                });
+            let id = if use_pool {
+                format!("sweep_jobs/{jobs}")
+            } else {
+                format!("sweep_jobs_nopool/{jobs}")
+            };
+            eprintln!("{id}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})");
+            entries.push(Entry { id, rate, batches, schedules, elapsed });
+        }
     }
 
     // Hand-rolled JSON (no serde in this workspace); the format is flat

@@ -32,7 +32,7 @@ pub mod sweep;
 pub use oracle::{all_oracles, check_all, Oracle, Violation};
 pub use scenario::{
     run_schedule, run_schedule_with, run_seed, run_seed_quiet, Kill, Observation, Retention,
-    ScenarioCfg, Schedule,
+    ScenarioCfg, Schedule, SeedRunner,
 };
 pub use sched::{SchedEvent, Scheduler, SplitMix64};
 pub use shrink::{shrink, Ev, Shrunk};
@@ -60,9 +60,13 @@ pub fn explore(start: u64, count: u64, cfg: &ScenarioCfg) -> Result<Vec<SeedResu
     let end = start
         .checked_add(count)
         .ok_or(SweepError::SeedRangeOverflow { start, count })?;
+    // One persistent executor pool for the whole range: seeds run
+    // back-to-back on the same rank threads (observations are identical
+    // to spawn-per-run; the golden-log suite pins this).
+    let mut runner = SeedRunner::new(cfg.ranks);
     Ok((start..end)
         .map(|seed| {
-            let observation = run_seed(seed, cfg);
+            let observation = runner.run_seed(seed, cfg);
             let violations = check_all(&observation);
             SeedResult { seed, violations, observation }
         })

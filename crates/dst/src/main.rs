@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dst explore --seeds 1000 [--start 0] [--jobs N] [--corpus PATH]
-//!             [--shrink-failures] [--max-failures N]
+//!             [--shrink-failures] [--max-failures N] [--no-pool]
 //!             [--buggy] [--ranks 4] [--iters 3]
 //! dst replay  --seed 0xBEEF [--buggy] [--log]
 //! dst shrink  --seed 0xBEEF [--buggy]
@@ -14,6 +14,9 @@
 //! because determinism lives inside each seed's self-contained
 //! simulation. Failing seeds can be written to a `--corpus` file as
 //! one-line repros, ddmin-minimized first with `--shrink-failures`.
+//! Each worker runs its seeds on a persistent rank-executor pool;
+//! `--no-pool` falls back to spawning fresh rank threads per schedule
+//! (identical verdicts, for A/B comparison and benchmarking).
 //!
 //! Exit status is non-zero when an oracle violation (explore/replay),
 //! an unshrinkable failure (shrink), or a log divergence (determinism)
@@ -46,6 +49,7 @@ struct Args {
     max_failures: usize,
     corpus: Option<PathBuf>,
     shrink_failures: bool,
+    no_pool: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         max_failures: 100,
         corpus: None,
         shrink_failures: false,
+        no_pool: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -81,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
             "--shrink-failures" => args.shrink_failures = true,
+            "--no-pool" => args.no_pool = true,
             "--buggy" => args.buggy = true,
             "--log" => args.show_log = true,
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
@@ -114,6 +120,10 @@ fn validate(args: &Args) -> Result<(), String> {
         if args.max_failures == 0 {
             return Err(format!("--max-failures must be at least 1\n{}", usage()));
         }
+    } else if args.no_pool {
+        // replay/shrink/determinism always run spawn-per-run; accepting
+        // the flag there would imply it changes something.
+        return Err(format!("--no-pool only applies to explore\n{}", usage()));
     }
     Ok(())
 }
@@ -121,8 +131,8 @@ fn validate(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     "usage: dst <explore|replay|shrink|determinism> \
      [--seed S] [--seeds N] [--start S] [--jobs N] [--corpus PATH] \
-     [--shrink-failures] [--max-failures N] [--buggy] [--ranks N] \
-     [--iters N] [--log]"
+     [--shrink-failures] [--max-failures N] [--no-pool] [--buggy] \
+     [--ranks N] [--iters N] [--log]"
         .to_string()
 }
 
@@ -147,6 +157,7 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
         jobs: args.jobs.unwrap_or(0),
         max_failures: args.max_failures,
         shrink_failures: args.shrink_failures,
+        use_pool: !args.no_pool,
     };
     let report = sweep(&sweep_cfg, &cfg).map_err(|e| e.to_string())?;
 

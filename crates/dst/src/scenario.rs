@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use faultsim::{FaultPlan, HookKind};
-use ftmpi::{run, RankOutcome, TimedEvent, UniverseConfig, WORLD};
+use ftmpi::{run, RankOutcome, TimedEvent, UniverseConfig, UniversePool, WORLD};
 use ftring::{run_ring, RingConfig, RingStats};
 
 use crate::sched::{Scheduler, SplitMix64};
@@ -236,6 +236,69 @@ pub fn run_schedule_with(
     cfg: &ScenarioCfg,
     retention: Retention,
 ) -> Observation {
+    execute(None, schedule, cfg, retention)
+}
+
+/// A reusable schedule executor: one persistent [`UniversePool`] at a
+/// fixed rank count, running schedules back-to-back without per-run
+/// thread spawns or universe-state reallocation.
+///
+/// The observation for any schedule is **byte-identical** to the
+/// spawn-per-run [`run_schedule_with`] path — the scheduler's dispatch
+/// barrier serializes ranks regardless of how their threads came to
+/// life, and the pool's reset protocol rewinds all shared state (the
+/// golden-log suite pins this in both modes). The sweep engine holds
+/// one runner per worker; `dst explore --no-pool` falls back to
+/// spawn-per-run.
+pub struct SeedRunner {
+    pool: UniversePool,
+}
+
+impl SeedRunner {
+    /// A runner for universes of `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        SeedRunner { pool: UniversePool::new(ranks) }
+    }
+
+    /// The rank count this runner's pool was built for.
+    pub fn ranks(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// [`run_schedule_with`], on the persistent pool.
+    pub fn run_schedule_with(
+        &mut self,
+        schedule: &Schedule,
+        cfg: &ScenarioCfg,
+        retention: Retention,
+    ) -> Observation {
+        assert_eq!(
+            cfg.ranks,
+            self.pool.size(),
+            "scenario rank count does not match this runner's pool"
+        );
+        execute(Some(&mut self.pool), schedule, cfg, retention)
+    }
+
+    /// [`run_seed`], on the persistent pool.
+    pub fn run_seed(&mut self, seed: u64, cfg: &ScenarioCfg) -> Observation {
+        self.run_schedule_with(&Schedule::from_seed(seed, cfg), cfg, Retention::Full)
+    }
+
+    /// [`run_seed_quiet`], on the persistent pool.
+    pub fn run_seed_quiet(&mut self, seed: u64, cfg: &ScenarioCfg) -> Observation {
+        self.run_schedule_with(&Schedule::from_seed(seed, cfg), cfg, Retention::Quiet)
+    }
+}
+
+/// The one execution path behind both the pooled and spawn-per-run
+/// entry points; they differ only in who provides the rank threads.
+fn execute(
+    pool: Option<&mut UniversePool>,
+    schedule: &Schedule,
+    cfg: &ScenarioCfg,
+    retention: Retention,
+) -> Observation {
     let sched = match (&schedule.delay_mask, retention) {
         (Some(mask), _) => {
             // Masked replay exists to be inspected; always record.
@@ -254,7 +317,11 @@ pub fn run_schedule_with(
         .fold(FaultPlan::none(), |p, k| p.kill_at(k.victim, k.hook, k.occurrence));
     let ucfg = UniverseConfig::with_plan(plan).traced().sim(sched.clone());
     let ring = cfg.ring_config();
-    let report = run(cfg.ranks, ucfg, move |p| run_ring(p, WORLD, &ring));
+    let f = move |p: &mut ftmpi::Process| run_ring(p, WORLD, &ring);
+    let report = match pool {
+        Some(pool) => pool.run(ucfg, f),
+        None => run(cfg.ranks, ucfg, f),
+    };
 
     let mut outcomes = Vec::with_capacity(report.outcomes.len());
     let mut stats = Vec::with_capacity(report.outcomes.len());

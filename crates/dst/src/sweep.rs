@@ -31,7 +31,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::oracle::check_all;
-use crate::scenario::{run_seed_quiet, ScenarioCfg};
+use crate::scenario::{run_seed_quiet, Observation, ScenarioCfg, SeedRunner};
 use crate::shrink::shrink;
 
 /// Seeds claimed per cursor pull. Small enough that workers stay
@@ -54,11 +54,25 @@ pub struct SweepCfg {
     /// ddmin-minimize each retained failure after the sweep, so corpus
     /// lines carry a minimal event set.
     pub shrink_failures: bool,
+    /// Run each worker's seeds on a persistent [`SeedRunner`] (reused
+    /// rank threads and universe state) instead of spawn-per-run.
+    /// Verdicts are identical either way — the pool's reset protocol is
+    /// pinned byte-identical by the golden-log suite — so `false`
+    /// exists for A/B comparison (`dst explore --no-pool`, the bench
+    /// baselines), not correctness.
+    pub use_pool: bool,
 }
 
 impl Default for SweepCfg {
     fn default() -> Self {
-        SweepCfg { start: 0, count: 100, jobs: 0, max_failures: 100, shrink_failures: false }
+        SweepCfg {
+            start: 0,
+            count: 100,
+            jobs: 0,
+            max_failures: 100,
+            shrink_failures: false,
+            use_pool: true,
+        }
     }
 }
 
@@ -245,8 +259,16 @@ impl Aggregate {
 /// with full recording — determinism makes the re-run the identical
 /// schedule, so the log is recoverable on demand instead of being paid
 /// for on every green seed.
-fn verdict_of(seed: u64, scenario: &ScenarioCfg) -> (bool, Option<FailureSummary>) {
-    let obs = run_seed_quiet(seed, scenario);
+fn verdict_of(seed: u64, scenario: &ScenarioCfg, runner: Option<&mut SeedRunner>) -> (bool, Option<FailureSummary>) {
+    let obs = match runner {
+        Some(r) => r.run_seed_quiet(seed, scenario),
+        None => run_seed_quiet(seed, scenario),
+    };
+    fold_verdict(seed, obs)
+}
+
+/// Judge one observation and compress it to the streaming verdict.
+fn fold_verdict(seed: u64, obs: Observation) -> (bool, Option<FailureSummary>) {
     let violations = check_all(&obs);
     if violations.is_empty() {
         return (obs.hung, None);
@@ -303,22 +325,29 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let claim = cursor.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
-                    if c >= cfg.count {
-                        None
-                    } else {
-                        Some(c.saturating_add(CHUNK).min(cfg.count))
+            scope.spawn(|| {
+                // One persistent executor pool per worker: every seed
+                // this worker claims reuses the same rank threads and
+                // universe state instead of spawning a fresh set.
+                let mut runner = cfg.use_pool.then(|| SeedRunner::new(scenario.ranks));
+                loop {
+                    let claim = cursor.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                        if c >= cfg.count {
+                            None
+                        } else {
+                            Some(c.saturating_add(CHUNK).min(cfg.count))
+                        }
+                    });
+                    let begin = match claim {
+                        Ok(b) => b,
+                        Err(_) => break,
+                    };
+                    let end = begin.saturating_add(CHUNK).min(cfg.count);
+                    for off in begin..end {
+                        let (hung, failure) =
+                            verdict_of(cfg.start + off, scenario, runner.as_mut());
+                        agg.lock().unwrap().record(hung, failure);
                     }
-                });
-                let begin = match claim {
-                    Ok(b) => b,
-                    Err(_) => break,
-                };
-                let end = begin.saturating_add(CHUNK).min(cfg.count);
-                for off in begin..end {
-                    let (hung, failure) = verdict_of(cfg.start + off, scenario);
-                    agg.lock().unwrap().record(hung, failure);
                 }
             });
         }

@@ -22,7 +22,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use dst::{run_seed, ScenarioCfg};
+use dst::{run_seed, ScenarioCfg, SeedRunner};
 
 /// Pinned seed set. Small enough to run in CI on every push, wide
 /// enough to exercise kills (0–2 per seed), delays, any-source picks
@@ -46,8 +46,44 @@ fn render(ranks: usize) -> String {
     out
 }
 
+/// `render`, but every seed runs back-to-back on ONE persistent
+/// executor pool — the reused-state path the sweep engine takes. The
+/// same goldens judge both renderings, so a reset-protocol bug that
+/// let one schedule's state bleed into the next shows up as a byte
+/// divergence here.
+fn render_pooled(ranks: usize) -> String {
+    let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+    let mut runner = SeedRunner::new(ranks);
+    let mut out = String::new();
+    for seed in SEEDS {
+        let obs = runner.run_seed(seed, &cfg);
+        writeln!(out, "=== seed {seed:#x} ranks {ranks} ===").unwrap();
+        out.push_str(&obs.log);
+    }
+    out
+}
+
 fn check(ranks: usize) {
-    let rendered = render(ranks);
+    check_rendering(ranks, render(ranks));
+}
+
+/// Pooled rendering judged against the identical goldens. Under
+/// `GOLDEN_REGEN` the spawn-mode rendering stays the one that is
+/// written; the pooled rendering is compared against it in memory, so
+/// regeneration can never pin a reset-protocol bug into the goldens.
+fn check_pooled(ranks: usize) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        assert_eq!(
+            render(ranks),
+            render_pooled(ranks),
+            "pooled rendering diverged from spawn-per-run at {ranks} ranks during regeneration"
+        );
+        return;
+    }
+    check_rendering(ranks, render_pooled(ranks));
+}
+
+fn check_rendering(ranks: usize, rendered: String) {
     let path = golden_path(ranks);
     if std::env::var_os("GOLDEN_REGEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -95,4 +131,14 @@ fn decision_logs_byte_identical_r4() {
 #[test]
 fn decision_logs_byte_identical_r8() {
     check(8);
+}
+
+#[test]
+fn pooled_decision_logs_byte_identical_r4() {
+    check_pooled(4);
+}
+
+#[test]
+fn pooled_decision_logs_byte_identical_r8() {
+    check_pooled(8);
 }

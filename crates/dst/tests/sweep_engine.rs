@@ -93,7 +93,7 @@ fn large_failing_sweep_keeps_a_bounded_failure_list() {
     let scenario = ScenarioCfg { buggy_dedup: true, ..ScenarioCfg::default() };
     let count = 100u64;
     let cap = 8usize;
-    let cfg = SweepCfg { start: 0, count, jobs: 4, max_failures: cap, shrink_failures: false };
+    let cfg = SweepCfg { start: 0, count, jobs: 4, max_failures: cap, ..SweepCfg::default() };
     let report = sweep(&cfg, &scenario).unwrap();
 
     // Every buggy-mode schedule injects a kill, so most seeds fail;
@@ -130,6 +130,7 @@ fn shrink_failures_attaches_minimal_events() {
         jobs: 2,
         max_failures: 10,
         shrink_failures: true,
+        ..SweepCfg::default()
     };
     let report = sweep(&cfg, &scenario).unwrap();
     assert!(!report.failures.is_empty());

@@ -59,6 +59,16 @@ impl CommBoard {
         }
     }
 
+    /// Reset protocol (see `Shared::reset`): the observable state of a
+    /// fresh `CommBoard::new(first_free_ctx)`, retaining the map
+    /// allocations. Iteration order of the cleared maps is irrelevant:
+    /// every read path sorts or keys by exact lookup.
+    pub(crate) fn reset(&self, first_free_ctx: ContextId) {
+        self.next_ctx.store(first_free_ctx, Ordering::Release);
+        self.dups.lock().clear();
+        self.splits.lock().clear();
+    }
+
     /// Rendezvous for the `n`-th dup of `parent`: the first caller
     /// allocates the context, later callers read it.
     pub(crate) fn dup(&self, parent: ContextId, n: u64) -> ContextId {

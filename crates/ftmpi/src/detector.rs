@@ -65,6 +65,19 @@ impl FailureRegistry {
         self.states.len()
     }
 
+    /// Reset protocol (see `Shared::reset`): everyone alive at
+    /// generation 0, epoch 0, no abort — the observable state of a
+    /// fresh `FailureRegistry::new(n)`. Must only be called between
+    /// runs, when no rank thread is live.
+    pub fn reset(&self) {
+        for s in &self.states {
+            s.store(0, Ordering::Release);
+        }
+        self.epoch.store(0, Ordering::Release);
+        *self.abort_code.lock() = None;
+        self.aborted.store(false, Ordering::Release);
+    }
+
     /// Whether `rank` is currently failed.
     pub fn is_failed(&self, rank: WorldRank) -> bool {
         self.states[rank].load(Ordering::Acquire) & FAILED_BIT != 0
@@ -189,6 +202,23 @@ mod tests {
         assert_eq!(r.epoch(), 0);
         assert_eq!(r.generation(0), 0);
         assert!(r.check_alive(0, 0).is_ok());
+    }
+
+    #[test]
+    fn reset_matches_fresh_registry() {
+        let r = FailureRegistry::new(3);
+        r.kill(1);
+        r.kill(2);
+        r.respawn(2);
+        r.abort(5);
+        r.reset();
+        assert_eq!(r.alive_count(), 3);
+        assert_eq!(r.epoch(), 0);
+        assert_eq!(r.aborted(), None);
+        for rank in 0..3 {
+            assert_eq!(r.generation(rank), 0);
+            assert!(r.check_alive(rank, 0).is_ok());
+        }
     }
 
     #[test]

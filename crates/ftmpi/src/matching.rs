@@ -412,19 +412,46 @@ mod tests {
             }
         }
 
+        /// Matching-relevant projection of an [`Envelope`]. The
+        /// reference model only ever looks at these four fields, so it
+        /// tracks this `Copy` header instead of cloning whole
+        /// envelopes (payload allocation and all) on every ingest.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        struct RefEnv {
+            src_comm: CommRank,
+            context: ContextId,
+            tag: i32,
+            seq: u64,
+        }
+
+        impl RefEnv {
+            fn of(e: &Envelope) -> Self {
+                RefEnv { src_comm: e.src_comm, context: e.context, tag: e.tag, seq: e.seq }
+            }
+
+            /// Same predicate as `MatchSpec::matches`, composed from
+            /// the real selector primitives so the reference cannot
+            /// drift from the engine's match semantics.
+            fn matched_by(self, spec: &MatchSpec) -> bool {
+                spec.context == self.context
+                    && spec.src.matches(self.src_comm)
+                    && spec.tag.matches(self.tag)
+            }
+        }
+
         /// The pre-optimization `take_unexpected_with`: one linear scan
         /// collecting per-sender head positions with `Vec::contains`
         /// dedup, for *every* receive — the executable spec the indexed
         /// fast paths must stay equivalent to.
         fn reference_take(
-            unexpected: &mut Vec<Envelope>,
+            unexpected: &mut Vec<RefEnv>,
             spec: &MatchSpec,
             pick: usize,
-        ) -> Option<Envelope> {
+        ) -> Option<RefEnv> {
             let mut firsts: Vec<usize> = Vec::new();
             let mut seen: Vec<CommRank> = Vec::new();
             for (pos, env) in unexpected.iter().enumerate() {
-                if spec.matches(env) && !seen.contains(&env.src_comm) {
+                if env.matched_by(spec) && !seen.contains(&env.src_comm) {
                     seen.push(env.src_comm);
                     firsts.push(pos);
                 }
@@ -441,10 +468,10 @@ mod tests {
         /// order, first match wins, else queue as unexpected.
         fn reference_ingest(
             posted: &mut Vec<(Request, MatchSpec)>,
-            unexpected: &mut Vec<Envelope>,
-            env: Envelope,
+            unexpected: &mut Vec<RefEnv>,
+            env: RefEnv,
         ) -> Option<Request> {
-            if let Some(i) = posted.iter().position(|(_, s)| s.matches(&env)) {
+            if let Some(i) = posted.iter().position(|(_, s)| env.matched_by(s)) {
                 Some(posted.remove(i).0)
             } else {
                 unexpected.push(env);
@@ -467,7 +494,7 @@ mod tests {
                 let mut eng = MatchEngine::new();
                 let mut table = ReqTable::new();
                 let mut ref_posted: Vec<(Request, MatchSpec)> = Vec::new();
-                let mut ref_unexpected: Vec<Envelope> = Vec::new();
+                let mut ref_unexpected: Vec<RefEnv> = Vec::new();
                 let mut seq = 0u64;
 
                 for op in ops {
@@ -482,9 +509,15 @@ mod tests {
                             seq += 1;
                             let mut e = env(src, ctx, tag, b"");
                             e.seq = seq;
-                            let got = eng.ingest(&mut table, e.clone());
-                            let want =
-                                reference_ingest(&mut ref_posted, &mut ref_unexpected, e);
+                            // Reference first, on the Copy header; then
+                            // the envelope moves into the engine —
+                            // zero clones per delivery.
+                            let want = reference_ingest(
+                                &mut ref_posted,
+                                &mut ref_unexpected,
+                                RefEnv::of(&e),
+                            );
+                            let got = eng.ingest(&mut table, e);
                             prop_assert_eq!(got, want, "ingest completed a different request");
                         }
                         Op::Take { ctx, src, tag, pick } => {

@@ -71,6 +71,12 @@ impl BarrierBoard {
         BarrierBoard::default()
     }
 
+    /// Reset protocol (see `Shared::reset`): drop all per-context
+    /// barrier rounds, retaining the outer map allocation.
+    pub(crate) fn reset(&self) {
+        self.ctxs.lock().clear();
+    }
+
     /// Join round `round` on `ctx` as `me`. The first joiner of a
     /// round fixes its required set: `initial_active` for round 0,
     /// else the previous round's requirement minus its failed-absent

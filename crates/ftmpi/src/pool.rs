@@ -1,0 +1,498 @@
+//! The persistent rank-executor pool.
+//!
+//! [`crate::run`] used to pay, per universe: `n` OS-thread spawns, `n`
+//! joins, and a full reallocation of the shared state (fabric slots,
+//! failure registry, coordination boards, trace sink). For a single
+//! run that cost is noise; for a deterministic-simulation sweep
+//! executing thousands of schedules per second it is the dominant
+//! overhead — at ~2600 schedules/sec × 4 ranks, more than ten thousand
+//! thread creations per second of pure churn.
+//!
+//! [`UniversePool::new(n)`](UniversePool::new) owns `n` long-lived
+//! worker threads (named `rank-{i}`); [`UniversePool::run`] resets the
+//! shared universe state in place (`Shared::reset` — queues cleared
+//! with capacity retained, counters rewound, boards emptied) and hands
+//! each worker the closure for one run. [`crate::run`] remains the
+//! spawn-per-run path as a thin wrapper over a one-shot pool.
+//!
+//! ### Determinism
+//!
+//! Pooled execution must keep the seed → schedule mapping of the `dst`
+//! harness **byte-identical** to spawn-per-run (the golden-log tests
+//! are the referee). Two properties make that structural rather than
+//! lucky:
+//!
+//! * a pooled worker re-enters `SchedPoint::Enter` exactly as a fresh
+//!   thread did — the job body is the old spawn body, and the DST
+//!   scheduler's dispatch barrier (no grant until every registered
+//!   rank is parked) erases submission-order races;
+//! * `Shared::reset` rewinds every observable counter and container to
+//!   its freshly-constructed value, so the simulation cannot read any
+//!   state bled from the previous schedule.
+//!
+//! ### Reset safety
+//!
+//! `Shared::reset` needs `&mut Shared`, obtained via `Arc::get_mut`:
+//! it succeeds exactly when no worker still holds a clone. Workers
+//! guarantee that by construction — a job's captured `Arc<Shared>` is
+//! dropped when the job closure returns, strictly *before* the worker
+//! bumps the completion counter — and the async kill schedule's clone
+//! is released by joining its thread before `run` returns. If some
+//! future caller nevertheless retains a handle, `run` falls back to
+//! building fresh state instead of corrupting a live universe.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use faultsim::{KillHandle, SchedPoint, StepOutcome};
+
+use crate::error::{Error, RankOutcome, Result};
+use crate::message::Envelope;
+use crate::process::Process;
+use crate::universe::{RunReport, Shared, UniverseConfig, WATCHDOG_ABORT_CODE};
+
+/// One unit of work: one rank incarnation of one run. The argument is
+/// the worker-owned drain-buffer scratch, kept warm across runs.
+type Job = Box<dyn FnOnce(&mut Vec<Envelope>) + Send>;
+
+/// Per-worker job queue. A queue, not a slot: the respawn extension
+/// can enqueue a rank's next incarnation while the previous one is
+/// still unwinding on the same worker (incarnations of one rank then
+/// run in order, which also makes the "later incarnations overwrite
+/// the outcome" rule deterministic instead of racy).
+struct WorkerSlot {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+struct PoolCore {
+    slots: Vec<WorkerSlot>,
+    shutdown: AtomicBool,
+    /// Jobs completed in the current run; reset by `UniversePool::run`.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+impl PoolCore {
+    /// Enqueue without waking. The initial rank batch is pushed first
+    /// and kicked together (see `kick_all`) so all ranks start as
+    /// near-simultaneously as `thread::scope` spawns did — wall-clock
+    /// fault tests lean on every rank reaching its first send before a
+    /// self-killing rank (whose kill is strictly later in program
+    /// order) dies.
+    fn push(&self, worker: usize, job: Job) {
+        self.slots[worker].queue.lock().push_back(job);
+    }
+
+    /// Wake every worker (locking serializes with the empty-queue
+    /// check, so no wakeup is lost).
+    fn kick_all(&self) {
+        for slot in &self.slots {
+            let _guard = slot.queue.lock();
+            slot.cv.notify_one();
+        }
+    }
+
+    fn submit(&self, worker: usize, job: Job) {
+        let slot = &self.slots[worker];
+        slot.queue.lock().push_back(job);
+        slot.cv.notify_one();
+    }
+
+    fn done_count(&self) -> usize {
+        *self.done.lock()
+    }
+
+    fn wait_done(&self, target: usize) {
+        let mut done = self.done.lock();
+        while *done < target {
+            self.done_cv.wait(&mut done);
+        }
+    }
+}
+
+fn worker_loop(core: Arc<PoolCore>, idx: usize) {
+    // Warm drain-buffer scratch, lent to every job this worker runs.
+    let mut scratch: Vec<Envelope> = Vec::new();
+    loop {
+        let job = {
+            let slot = &core.slots[idx];
+            let mut q = slot.queue.lock();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if core.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                slot.cv.wait(&mut q);
+            }
+        };
+        let Some(job) = job else { return };
+        // The job's own `catch_unwind` covers the rank closure; this
+        // outer one covers the bookkeeping tail, so a panicking job
+        // still counts as finished — `run` then reports the missing
+        // outcome as a clean panic instead of deadlocking.
+        //
+        // Ordering matters: the call consumes the job, dropping its
+        // captured `Arc<Shared>` before the completion signal below —
+        // `run` relies on that for exclusive access at the next reset.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| job(&mut scratch)));
+        let mut done = core.done.lock();
+        *done += 1;
+        core.done_cv.notify_one();
+    }
+}
+
+/// A persistent rank-executor pool: `n` long-lived worker threads plus
+/// recycled universe state, executing whole universe runs back-to-back
+/// without per-run thread spawns or state reallocation.
+///
+/// ```
+/// use ftmpi::{UniverseConfig, UniversePool};
+///
+/// let mut pool = UniversePool::new(2);
+/// for _ in 0..3 {
+///     let report = pool.run(UniverseConfig::default(), |p| Ok(p.world_rank()));
+///     assert!(report.all_ok());
+/// }
+/// ```
+pub struct UniversePool {
+    size: usize,
+    /// Warm universe state from the previous run, reset in place at the
+    /// start of the next one.
+    shared: Option<Arc<Shared>>,
+    core: Arc<PoolCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl UniversePool {
+    /// A pool of `n` rank-executor threads, named `rank-0 .. rank-{n-1}`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "universe needs at least one rank");
+        let core = Arc::new(PoolCore {
+            slots: (0..n)
+                .map(|_| WorkerSlot { queue: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("rank-{i}"))
+                    .spawn(move || worker_loop(core, i))
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        UniversePool { size: n, shared: None, core, workers }
+    }
+
+    /// Number of ranks (and worker threads) in this pool.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank under `cfg`, reusing this pool's threads
+    /// and universe state. Semantics are identical to [`crate::run`]
+    /// with the same arguments.
+    pub fn run<T, F>(&mut self, cfg: UniverseConfig, f: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Process) -> Result<T> + Send + Sync,
+    {
+        let n = self.size;
+        if cfg.sched.is_some() {
+            assert!(
+                cfg.schedule.is_none() && cfg.respawn.is_none(),
+                "a deterministic-simulation scheduler is incompatible with \
+                 wall-clock kill schedules and the respawn extension"
+            );
+        }
+        let UniverseConfig { plan, schedule, watchdog, trace, respawn, sched } = cfg;
+
+        // Reset-or-build: reuse the previous run's allocations when we
+        // have exclusive access (the normal case), else start fresh.
+        let shared = match self.shared.take() {
+            Some(mut arc) => match Arc::get_mut(&mut arc) {
+                Some(s) => {
+                    s.reset(plan, trace, sched);
+                    arc
+                }
+                None => Arc::new(Shared::fresh(n, plan, trace, sched)),
+            },
+            None => Arc::new(Shared::fresh(n, plan, trace, sched)),
+        };
+        if let Some(s) = &shared.sched {
+            // Deterministic timestamps: trace events carry the
+            // scheduler's logical clock instead of wall-clock time.
+            let clock = Arc::clone(s);
+            shared.trace.set_clock(Arc::new(move || clock.now()));
+        }
+
+        // Asynchronous kill schedule, if any.
+        let schedule_handle = schedule.map(|s| {
+            let shared = Arc::clone(&shared);
+            let kill: KillHandle = Arc::new(move |r| {
+                if r < shared.size {
+                    shared.kill(r);
+                }
+            });
+            s.start(kill)
+        });
+
+        let outcomes: Mutex<Vec<Option<RankOutcome<T>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        // Only the caller's thread submits jobs, so a plain Cell counts
+        // them.
+        let spawned = Cell::new(0usize);
+        *self.core.done.lock() = 0;
+        let start = Instant::now();
+        let mut hung = false;
+
+        let submit_incarnation = |me: usize, gen: u32, kick: bool| {
+            spawned.set(spawned.get() + 1);
+            let shared = Arc::clone(&shared);
+            let f = &f;
+            let outcomes = &outcomes;
+            // This job body is the old spawn-per-run thread body: in
+            // particular the `SchedPoint::Enter` step comes first, so a
+            // pooled worker enters the schedule exactly as a fresh
+            // thread did.
+            let job: Box<dyn FnOnce(&mut Vec<Envelope>) + Send + '_> =
+                Box::new(move |scratch: &mut Vec<Envelope>| {
+                    if let Some(s) = &shared.sched {
+                        // First scheduling point: ranks start
+                        // serialized, not in racy submission order.
+                        if s.step(me, SchedPoint::Enter) == StepOutcome::Abort {
+                            shared.abort(WATCHDOG_ABORT_CODE);
+                        }
+                    }
+                    let sched = shared.sched.clone();
+                    let buf = std::mem::take(scratch);
+                    let mut proc = Process::with_drain_buf(me, gen, shared, buf);
+                    let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut proc)));
+                    *scratch = proc.recycle_drain_buf();
+                    if let Some(s) = &sched {
+                        // The thread is done scheduling-wise whatever
+                        // the outcome (including panics): release the
+                        // scheduler.
+                        s.on_exit(me);
+                    }
+                    let outcome = match res {
+                        Ok(Ok(v)) => RankOutcome::Ok(v),
+                        Ok(Err(Error::SelfFailed)) => RankOutcome::Failed,
+                        Ok(Err(Error::Aborted { code })) => RankOutcome::Aborted { code },
+                        Ok(Err(e)) => RankOutcome::Err(e),
+                        Err(p) => {
+                            let msg = p
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "opaque panic".to_string());
+                            RankOutcome::Panicked(msg)
+                        }
+                    };
+                    // Later incarnations overwrite: the rank's reported
+                    // outcome is its final incarnation's (incarnations
+                    // of one rank run in order on its worker).
+                    outcomes.lock()[me] = Some(outcome);
+                });
+            // SAFETY: the job borrows `f`, `outcomes` and the stack
+            // frame of `run`, which the 'static `Job` type erases.
+            // Sound because `run` does not return (or unwind past the
+            // borrows — nothing below panics before the wait) until
+            // `wait_done` has observed every submitted job complete,
+            // and a worker only counts a job complete after the job
+            // closure (and thus every use of those borrows) returned.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce(&mut Vec<Envelope>) + Send + '_>, Job>(job)
+            };
+            if kick {
+                self.core.submit(me, job);
+            } else {
+                self.core.push(me, job);
+            }
+        };
+
+        // Push the whole rank batch before waking anyone: all ranks
+        // then start together (like scoped spawns pipelining) instead
+        // of in wake order.
+        for me in 0..n {
+            submit_incarnation(me, 0, false);
+        }
+        self.core.kick_all();
+
+        // Supervisor loop: watchdog + recovery, polling at 1ms exactly
+        // like the spawn-per-run path did. Skipped entirely when
+        // neither is configured (the completion wait below suffices).
+        if watchdog.is_some() || respawn.is_some() {
+            let mut budget: Vec<u32> = vec![respawn.map(|p| p.max_per_rank).unwrap_or(0); n];
+            let mut death_seen: Vec<Option<Instant>> = vec![None; n];
+            loop {
+                let all_done = self.core.done_count() == spawned.get();
+                // A respawn is only pending while some incarnation is
+                // still running: reviving a rank after everyone else
+                // finished would strand it (nobody left to talk to).
+                let respawn_pending = !all_done
+                    && respawn.is_some()
+                    && shared.registry.aborted().is_none()
+                    && (0..n).any(|r| shared.registry.is_failed(r) && budget[r] > 0);
+                if all_done {
+                    break;
+                }
+                if let Some(limit) = watchdog {
+                    if start.elapsed() > limit {
+                        hung = true;
+                        shared.abort(WATCHDOG_ABORT_CODE);
+                        break;
+                    }
+                }
+                if let Some(policy) = respawn {
+                    if respawn_pending {
+                        for r in 0..n {
+                            if !shared.registry.is_failed(r) {
+                                death_seen[r] = None;
+                                continue;
+                            }
+                            if budget[r] == 0 {
+                                continue;
+                            }
+                            let seen = *death_seen[r].get_or_insert_with(Instant::now);
+                            if seen.elapsed() >= policy.after {
+                                budget[r] -= 1;
+                                death_seen[r] = None;
+                                if let Some(gen) = shared.respawn(r) {
+                                    submit_incarnation(r, gen, true);
+                                }
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Every submitted job must finish before the borrows (and the
+        // workers' `Arc<Shared>` clones) can be considered released —
+        // including post-abort unwinds after a watchdog break above.
+        self.core.wait_done(spawned.get());
+
+        if let Some(h) = schedule_handle {
+            h.join();
+        }
+
+        // A logical-step watchdog (simulation scheduler budget) aborts
+        // with the same code as the wall-clock one; report it as a
+        // hang too.
+        if shared.registry.aborted() == Some(WATCHDOG_ABORT_CODE) {
+            hung = true;
+        }
+        let generations = (0..n).map(|r| shared.registry.generation(r)).collect();
+        let park_timeouts = shared.fabric.park_timeouts();
+        let outcomes = outcomes
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("every rank records an outcome"))
+            .collect();
+        let report = RunReport {
+            outcomes,
+            hung,
+            trace: shared.trace.events(),
+            duration: start.elapsed(),
+            generations,
+            park_timeouts,
+        };
+        // Keep the universe state warm for the next run.
+        self.shared = Some(shared);
+        report
+    }
+}
+
+impl Drop for UniversePool {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        for slot in &self.core.slots {
+            // Lock to serialize with a worker between its empty-queue
+            // check and its wait, eliminating the lost-wakeup race.
+            let _guard = slot.queue.lock();
+            slot.cv.notify_one();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ErrorHandler, Src, WORLD};
+
+    fn ring_once(p: &mut Process) -> Result<u64> {
+        p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+        let n = p.world_size();
+        let me = p.world_rank();
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        if me == 0 {
+            p.send(WORLD, next, 0, &1u64)?;
+            let (v, _) = p.recv::<u64>(WORLD, Src::Rank(prev), 0)?;
+            Ok(v)
+        } else {
+            let (v, _) = p.recv::<u64>(WORLD, Src::Rank(prev), 0)?;
+            p.send(WORLD, next, 0, &(v + 1))?;
+            Ok(v)
+        }
+    }
+
+    #[test]
+    fn pool_runs_back_to_back_with_identical_results() {
+        let mut pool = UniversePool::new(4);
+        for round in 0..5 {
+            let report = pool.run(UniverseConfig::default(), ring_once);
+            assert!(report.all_ok(), "round {round}: {:?}", report.failed_ranks());
+            assert_eq!(report.outcomes[0].as_ok(), Some(&4u64), "round {round}");
+            assert_eq!(report.generations, vec![0; 4]);
+        }
+    }
+
+    #[test]
+    fn pool_state_does_not_bleed_between_failing_and_clean_runs() {
+        use faultsim::{FaultPlan, HookKind};
+        let mut pool = UniversePool::new(3);
+        // Run 1: kill rank 1 at its first send.
+        let plan = FaultPlan::none().kill_at(1, HookKind::BeforeSend, 1);
+        let report = pool.run::<u64, _>(UniverseConfig::with_plan(plan), |p| {
+            p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
+            if p.world_rank() == 1 {
+                // Dies at the BeforeSend hook; the send reports it.
+                p.send(WORLD, 0, 7, &1u64)?;
+            }
+            Ok(p.world_rank() as u64)
+        });
+        assert!(report.outcomes[1].is_failed(), "rank 1 must be killed");
+        // Run 2: clean — the failure must not leak into it.
+        let report = pool.run(UniverseConfig::default(), ring_once);
+        assert!(report.all_ok(), "failure state bled: {:?}", report.failed_ranks());
+        assert_eq!(report.outcomes[0].as_ok(), Some(&3u64));
+    }
+
+    #[test]
+    fn one_shot_run_wrapper_matches_pool() {
+        let from_run = crate::run(4, UniverseConfig::default(), ring_once);
+        let mut pool = UniversePool::new(4);
+        let from_pool = pool.run(UniverseConfig::default(), ring_once);
+        assert_eq!(from_run.outcomes, from_pool.outcomes);
+        assert_eq!(from_run.hung, from_pool.hung);
+        assert_eq!(from_run.generations, from_pool.generations);
+    }
+}

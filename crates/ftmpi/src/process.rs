@@ -95,7 +95,18 @@ pub struct Process {
 }
 
 impl Process {
-    pub(crate) fn new(me: WorldRank, gen: u32, shared: Arc<Shared>) -> Self {
+    /// Construct the rank-`me` process of a universe, seeded with a
+    /// recycled drain buffer so a pooled worker's steady-state drain
+    /// capacity survives across incarnations and runs (see
+    /// `UniversePool`; pass `Vec::new()` when there is nothing to
+    /// recycle).
+    pub(crate) fn with_drain_buf(
+        me: WorldRank,
+        gen: u32,
+        shared: Arc<Shared>,
+        mut drain_buf: Vec<Envelope>,
+    ) -> Self {
+        drain_buf.clear();
         let n = shared.size;
         let world = CommData::new(WORLD_CTX, Group::world(n), me);
         let mut ctx_map = HashMap::new();
@@ -109,8 +120,16 @@ impl Process {
             reqs: ReqTable::new(),
             engine: MatchEngine::new(),
             send_seq: vec![0; n],
-            drain_buf: Vec::new(),
+            drain_buf,
         }
+    }
+
+    /// Hand the drain buffer back for reuse by the next incarnation or
+    /// run on this worker thread.
+    pub(crate) fn recycle_drain_buf(&mut self) -> Vec<Envelope> {
+        let mut buf = std::mem::take(&mut self.drain_buf);
+        buf.clear();
+        buf
     }
 
     // ------------------------------------------------------------------

@@ -139,6 +139,18 @@ impl Trace {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Reset protocol (see `Shared::reset`): the observable state of a
+    /// fresh `Trace::new(enabled)` — empty event log (capacity
+    /// retained), no clock, a new start instant. Takes `&mut self`
+    /// because `start` is a plain field; the universe pool has
+    /// exclusive access between runs.
+    pub fn reset(&mut self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+        self.start = Instant::now();
+        *self.clock.lock() = None;
+        self.events.lock().clear();
+    }
+
     /// Install a logical clock; timestamps become `clock()` instead of
     /// elapsed wall-clock microseconds.
     pub fn set_clock(&self, clock: Clock) {
@@ -188,6 +200,27 @@ mod tests {
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].event, Event::Killed { rank: 1 });
         assert!(evs[0].at_us <= evs[1].at_us);
+    }
+
+    #[test]
+    fn reset_matches_fresh_trace() {
+        let mut t = Trace::new(true);
+        t.set_clock(std::sync::Arc::new(|| 1_000_000_000));
+        t.record(Event::Killed { rank: 0 });
+
+        t.reset(false);
+        t.record(Event::Killed { rank: 1 });
+        assert!(t.events().is_empty(), "reset clears events and applies the new enable flag");
+
+        t.reset(true);
+        t.record(Event::Aborted { code: 1 });
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert!(
+            evs[0].at_us < 1_000_000_000,
+            "reset uninstalls the logical clock: got at_us {}",
+            evs[0].at_us
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   one possible waiter, or nobody, and never pays a broadcast.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -52,6 +52,16 @@ pub struct Fabric {
     slots: Vec<Slot>,
     /// Global notify generation: bumped by [`Fabric::wake_all`].
     notify_gen: AtomicU64,
+    /// Simulation mode: a DST scheduler drives the run, so every wake
+    /// is explicit and [`Fabric::park`] waits untimed — the run can
+    /// never secretly make progress off the safety backstop.
+    sim: AtomicBool,
+    /// How often the wall-clock safety timeout cut a park short.
+    /// Nonzero is expected when a run is legitimately idle (async kill
+    /// schedules, respawn delays, hangs waiting for the watchdog); a
+    /// count growing during steady message flow would indicate a
+    /// missed-notification bug. Surfaced in `RunReport::park_timeouts`.
+    park_timeouts: AtomicU64,
 }
 
 /// Snapshot taken at the start of a progress pass, consumed by
@@ -74,7 +84,37 @@ impl Fabric {
                 })
                 .collect(),
             notify_gen: AtomicU64::new(0),
+            sim: AtomicBool::new(false),
+            park_timeouts: AtomicU64::new(0),
         }
+    }
+
+    /// Switch between wall-clock parking (timed safety net) and
+    /// simulation parking (untimed; all wakes are explicit). Set by the
+    /// universe according to whether a DST scheduler drives the run.
+    pub fn set_sim_mode(&self, sim: bool) {
+        self.sim.store(sim, Ordering::Release);
+    }
+
+    /// How often the safety timeout fired since construction or the
+    /// last [`Fabric::reset`].
+    pub fn park_timeouts(&self) -> u64 {
+        self.park_timeouts.load(Ordering::Acquire)
+    }
+
+    /// Reset protocol (see `Shared::reset`): return the fabric to the
+    /// observable state of a fresh `Fabric::new(n)` while retaining
+    /// every queue allocation. Must only be called between runs, when
+    /// no rank thread can be delivering or parking.
+    pub fn reset(&self, sim: bool) {
+        for slot in &self.slots {
+            let mut mb = slot.mb.lock();
+            mb.queue.clear();
+            mb.version = 0;
+        }
+        self.notify_gen.store(0, Ordering::Release);
+        self.park_timeouts.store(0, Ordering::Release);
+        self.sim.store(sim, Ordering::Release);
     }
 
     /// Number of ranks.
@@ -173,8 +213,18 @@ impl Fabric {
         {
             return;
         }
-        // Bounded wait as a safety net; all real wake paths notify.
-        slot.cv.wait_for(&mut mb, PARK_SAFETY);
+        if self.sim.load(Ordering::Acquire) {
+            // Under a DST scheduler every wake is explicit (and ranks
+            // normally never park here at all — the wait loop blocks in
+            // the scheduler instead), so the timed backstop would only
+            // let a simulated run secretly progress off a timeout.
+            slot.cv.wait(&mut mb);
+        } else if slot.cv.wait_for(&mut mb, PARK_SAFETY).timed_out() {
+            // Bounded wait as a safety net; all real wake paths notify.
+            // Count firings so callers can tell backstop-driven
+            // progress from explicit wakes.
+            self.park_timeouts.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     /// Wake every rank (used for failures, aborts, and shared-state
@@ -281,6 +331,48 @@ mod tests {
         f.wake_all();
         let waited = h.join().unwrap();
         assert!(waited >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn safety_timeout_is_counted_and_reset_restores_fresh_state() {
+        let f = Fabric::new(2);
+        f.deliver(1, env(0, 0));
+        f.wake_all();
+        assert_eq!(f.park_timeouts(), 0);
+        // Park with a token nothing will move: the only way out is the
+        // safety timeout, which must be counted.
+        let token = f.token(0, 0);
+        f.park(0, token, || 0);
+        assert_eq!(f.park_timeouts(), 1);
+
+        f.reset(false);
+        assert_eq!(f.park_timeouts(), 0, "reset clears the timeout count");
+        let (msgs, version) = f.drain(1);
+        assert!(msgs.is_empty(), "reset clears queued envelopes");
+        assert_eq!(version, 0, "reset rewinds mailbox versions");
+        let t = f.token(0, 0);
+        assert_eq!(t.mailbox_version, 0);
+        assert_eq!(t.notify_gen, 0, "reset rewinds the notify generation");
+    }
+
+    #[test]
+    fn sim_mode_park_waits_untimed_until_explicit_wake() {
+        use std::sync::Arc;
+        let f = Arc::new(Fabric::new(1));
+        f.set_sim_mode(true);
+        let f2 = Arc::clone(&f);
+        let h = std::thread::spawn(move || {
+            let token = f2.token(0, 0);
+            let t0 = std::time::Instant::now();
+            f2.park(0, token, || 0);
+            t0.elapsed()
+        });
+        // Well past PARK_SAFETY: a timed wait would have returned.
+        std::thread::sleep(Duration::from_millis(120));
+        f.deliver(0, env(0, 0));
+        let waited = h.join().unwrap();
+        assert!(waited >= Duration::from_millis(100), "park returned early: {waited:?}");
+        assert_eq!(f.park_timeouts(), 0, "untimed wait never fires the backstop");
     }
 
     mod properties {

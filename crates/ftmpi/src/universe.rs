@@ -15,19 +15,15 @@
 //! leans on this to run one universe per worker, and
 //! `tests/concurrent_universes.rs` pins the property.
 
-use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use parking_lot::Mutex;
-
-use faultsim::{AsyncSchedule, FaultPlan, Injector, KillHandle, SchedHook, SchedPoint, StepOutcome};
+use faultsim::{AsyncSchedule, FaultPlan, Injector, SchedHook};
 
 use crate::coord::CommBoard;
 use crate::detector::FailureRegistry;
+use crate::error::{RankOutcome, Result};
 use crate::nbc::BarrierBoard;
-use crate::error::{Error, RankOutcome, Result};
 use crate::process::Process;
 use crate::rank::WorldRank;
 use crate::trace::{Event, Trace, TimedEvent};
@@ -55,6 +51,71 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// Freshly constructed universe state for one run.
+    pub(crate) fn fresh(
+        n: usize,
+        plan: FaultPlan,
+        trace: bool,
+        sched: Option<Arc<dyn SchedHook>>,
+    ) -> Shared {
+        let fabric = crate::transport::Fabric::new(n);
+        fabric.set_sim_mode(sched.is_some());
+        Shared {
+            size: n,
+            fabric,
+            registry: FailureRegistry::new(n),
+            injector: Arc::new(Injector::new(plan)),
+            board: CommBoard::new(WORLD_CTX + 1),
+            vboard: ValidateBoard::new(),
+            bboard: BarrierBoard::new(),
+            trace: Arc::new(Trace::new(trace)),
+            sched,
+        }
+    }
+
+    /// The reset protocol: return every piece of universe state to the
+    /// exact observable state [`Shared::fresh`] produces while
+    /// retaining allocations (mailbox queues keep their capacity, the
+    /// trace keeps its event buffer, board maps keep their tables).
+    /// The injector is the one piece replaced wholesale — it is armed
+    /// from the per-run `FaultPlan` and its per-rule state is cheaper
+    /// to rebuild than to audit.
+    ///
+    /// Equivalence argument (the golden-log tests are the referee): a
+    /// cleared-with-capacity container is behaviorally identical to a
+    /// fresh one — capacity is not observable — and every counter
+    /// (mailbox versions, notify generation, failure epoch, context
+    /// allocator) is rewound to its constructed value, so no rank can
+    /// distinguish a reset universe from a new one. HashMap iteration
+    /// order is the one superficially scary piece of state, and it is
+    /// moot: `CommBoard` sorts split members before assignment and the
+    /// validate/barrier boards are keyed by exact lookup.
+    ///
+    /// Requires exclusive access (`&mut self`), which the pool has
+    /// between runs: every worker drops its `Arc<Shared>` clone before
+    /// signalling completion.
+    pub(crate) fn reset(
+        &mut self,
+        plan: FaultPlan,
+        trace: bool,
+        sched: Option<Arc<dyn SchedHook>>,
+    ) {
+        self.fabric.reset(sched.is_some());
+        self.registry.reset();
+        self.injector = Arc::new(Injector::new(plan));
+        self.board.reset(WORLD_CTX + 1);
+        self.vboard.reset();
+        self.bboard.reset();
+        match Arc::get_mut(&mut self.trace) {
+            Some(t) => t.reset(trace),
+            // Someone outside the run still holds the trace (nothing in
+            // the runtime does); fall back to a fresh sink rather than
+            // mutate under them.
+            None => self.trace = Arc::new(Trace::new(trace)),
+        }
+        self.sched = sched;
+    }
+
     /// Wake every rank parked on the fabric — unless this universe is
     /// scheduler-driven, in which case ranks never park there (the
     /// `wait_loop` skips `Fabric::park` under simulation and blocks in
@@ -184,6 +245,14 @@ pub struct RunReport<T> {
     /// Final incarnation number per rank (all 0 without the recovery
     /// extension).
     pub generations: Vec<u32>,
+    /// How often the transport's safety-net park timeout fired during
+    /// the run. Under a DST scheduler the wait is untimed (and ranks
+    /// never park on the fabric), so this is always 0 there. In
+    /// wall-clock mode a nonzero count during steady message flow would
+    /// mean a rank made progress only because of the backstop — a
+    /// missed-notification bug; idle waits (async kill schedules,
+    /// respawn delays, watchdog hangs) fire it benignly.
+    pub park_timeouts: u64,
 }
 
 impl<T> RunReport<T> {
@@ -217,179 +286,19 @@ impl<T> RunReport<T> {
 /// `f` receives a mutable [`Process`] and returns the rank's result;
 /// returning `Err(Error::SelfFailed)` (which every runtime call does
 /// once the rank is killed) records the rank as [`RankOutcome::Failed`].
+///
+/// This is the spawn-per-run path: a thin wrapper that builds a
+/// one-shot [`crate::UniversePool`], runs the universe on it, and
+/// tears it down. Callers executing many universes back-to-back at a
+/// fixed rank count should hold a pool and call
+/// [`crate::UniversePool::run`] instead, which reuses the worker
+/// threads and the universe state allocations across runs.
 pub fn run<T, F>(n: usize, cfg: UniverseConfig, f: F) -> RunReport<T>
 where
     T: Send,
     F: Fn(&mut Process) -> Result<T> + Send + Sync,
 {
-    assert!(n >= 1, "universe needs at least one rank");
-    if cfg.sched.is_some() {
-        assert!(
-            cfg.schedule.is_none() && cfg.respawn.is_none(),
-            "a deterministic-simulation scheduler is incompatible with \
-             wall-clock kill schedules and the respawn extension"
-        );
-    }
-    let shared = Arc::new(Shared {
-        size: n,
-        fabric: crate::transport::Fabric::new(n),
-        registry: FailureRegistry::new(n),
-        injector: Arc::new(Injector::new(cfg.plan)),
-        board: CommBoard::new(WORLD_CTX + 1),
-        vboard: ValidateBoard::new(),
-        bboard: BarrierBoard::new(),
-        trace: Arc::new(Trace::new(cfg.trace)),
-        sched: cfg.sched,
-    });
-    if let Some(s) = &shared.sched {
-        // Deterministic timestamps: trace events carry the scheduler's
-        // logical clock instead of wall-clock microseconds.
-        let clock = Arc::clone(s);
-        shared.trace.set_clock(Arc::new(move || clock.now()));
-    }
-
-    // Asynchronous kill schedule, if any.
-    let schedule_handle = cfg.schedule.map(|s| {
-        let shared = Arc::clone(&shared);
-        let kill: KillHandle = Arc::new(move |r| {
-            if r < shared.size {
-                shared.kill(r);
-            }
-        });
-        s.start(kill)
-    });
-
-    let outcomes: Mutex<Vec<Option<RankOutcome<T>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let spawned = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let start = Instant::now();
-    let mut hung = false;
-    let respawn_policy = cfg.respawn;
-
-    std::thread::scope(|scope| {
-        let spawn_incarnation = |me: usize, gen: u32| {
-            spawned.fetch_add(1, Ordering::AcqRel);
-            let shared = Arc::clone(&shared);
-            let f = &f;
-            let outcomes = &outcomes;
-            let done = &done;
-            scope.spawn(move || {
-                if let Some(s) = &shared.sched {
-                    // First scheduling point: ranks start serialized,
-                    // not in racy spawn order.
-                    if s.step(me, SchedPoint::Enter) == StepOutcome::Abort {
-                        shared.abort(WATCHDOG_ABORT_CODE);
-                    }
-                }
-                let sched = shared.sched.clone();
-                let mut proc = Process::new(me, gen, shared);
-                let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut proc)));
-                if let Some(s) = &sched {
-                    // The thread is done scheduling-wise whatever the
-                    // outcome (including panics): release the scheduler.
-                    s.on_exit(me);
-                }
-                let outcome = match res {
-                    Ok(Ok(v)) => RankOutcome::Ok(v),
-                    Ok(Err(Error::SelfFailed)) => RankOutcome::Failed,
-                    Ok(Err(Error::Aborted { code })) => RankOutcome::Aborted { code },
-                    Ok(Err(e)) => RankOutcome::Err(e),
-                    Err(p) => {
-                        let msg = p
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| p.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "opaque panic".to_string());
-                        RankOutcome::Panicked(msg)
-                    }
-                };
-                // Later incarnations overwrite: the rank's reported
-                // outcome is its final incarnation's.
-                outcomes.lock()[me] = Some(outcome);
-                done.fetch_add(1, Ordering::AcqRel);
-            });
-        };
-
-        for me in 0..n {
-            spawn_incarnation(me, 0);
-        }
-
-        // Supervisor loop: watchdog + recovery. Skipped entirely when
-        // neither is configured (the scope join suffices).
-        if cfg.watchdog.is_some() || respawn_policy.is_some() {
-            let mut budget: Vec<u32> =
-                vec![respawn_policy.map(|p| p.max_per_rank).unwrap_or(0); n];
-            let mut death_seen: Vec<Option<Instant>> = vec![None; n];
-            loop {
-                let all_done = done.load(Ordering::Acquire) == spawned.load(Ordering::Acquire);
-                // A respawn is only pending while some incarnation is
-                // still running: reviving a rank after everyone else
-                // finished would strand it (nobody left to talk to).
-                let respawn_pending = !all_done
-                    && respawn_policy.is_some()
-                    && shared.registry.aborted().is_none()
-                    && (0..n).any(|r| shared.registry.is_failed(r) && budget[r] > 0);
-                if all_done {
-                    break;
-                }
-                if let Some(limit) = cfg.watchdog {
-                    if start.elapsed() > limit {
-                        hung = true;
-                        shared.abort(WATCHDOG_ABORT_CODE);
-                        break;
-                    }
-                }
-                if let Some(policy) = respawn_policy {
-                    if respawn_pending {
-                        for r in 0..n {
-                            if !shared.registry.is_failed(r) {
-                                death_seen[r] = None;
-                                continue;
-                            }
-                            if budget[r] == 0 {
-                                continue;
-                            }
-                            let seen = *death_seen[r].get_or_insert_with(Instant::now);
-                            if seen.elapsed() >= policy.after {
-                                budget[r] -= 1;
-                                death_seen[r] = None;
-                                if let Some(gen) = shared.respawn(r) {
-                                    spawn_incarnation(r, gen);
-                                }
-                            }
-                        }
-                    }
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
-        }
-        // Scope joins all rank threads here; after an abort every
-        // blocked rank wakes and unwinds promptly.
-    });
-
-    if let Some(h) = schedule_handle {
-        h.join();
-    }
-
-    // A logical-step watchdog (simulation scheduler budget) aborts with
-    // the same code as the wall-clock one; report it as a hang too.
-    if shared.registry.aborted() == Some(WATCHDOG_ABORT_CODE) {
-        hung = true;
-    }
-    let generations = (0..n).map(|r| shared.registry.generation(r)).collect();
-    let outcomes = outcomes
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every rank records an outcome"))
-        .collect();
-    RunReport {
-        outcomes,
-        hung,
-        trace: shared.trace.events(),
-        duration: start.elapsed(),
-        generations,
-    }
+    crate::pool::UniversePool::new(n).run(cfg, f)
 }
 
 /// Run with default configuration (no faults, no watchdog).

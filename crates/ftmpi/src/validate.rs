@@ -55,6 +55,12 @@ impl ValidateBoard {
         ValidateBoard::default()
     }
 
+    /// Reset protocol (see `Shared::reset`): drop all per-context
+    /// round state, retaining the outer map allocation.
+    pub(crate) fn reset(&self) {
+        self.ctxs.lock().clear();
+    }
+
     /// Join `round` on `ctx` as `me`. Idempotent.
     pub(crate) fn join(&self, ctx: ContextId, round: u64, me: WorldRank) {
         let mut ctxs = self.ctxs.lock();

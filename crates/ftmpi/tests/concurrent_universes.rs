@@ -15,17 +15,21 @@ fn wd() -> Duration {
 }
 
 /// One small universe: a ring token pass with rank `victim` killed
-/// after its first send. Returns (per-rank ok flags, killed events in
-/// the trace).
+/// after its first receive completes. Returns (per-rank ok flags,
+/// killed events in the trace).
 fn ring_universe(n: usize, victim: usize) -> (Vec<bool>, Vec<usize>) {
-    let plan = FaultPlan::none().kill_at(victim, HookKind::AfterSend, 1);
+    let plan = FaultPlan::none().kill_at(victim, HookKind::AfterRecvComplete, 1);
     let cfg = UniverseConfig::with_plan(plan).traced().watchdog(wd());
     let report = run(n, cfg, move |p| {
         let me = p.comm_rank(WORLD)?;
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
-        // One exchange is enough: the victim dies right after sending,
-        // so everyone else still completes the round.
+        // One exchange is enough. The kill point makes the outcome
+        // timing-independent: the victim dies only once its receive
+        // completed, which is strictly after every send naming it (its
+        // own send precedes its wait in program order, and delivery is
+        // synchronous), so no rank ever addresses a dead peer and
+        // everyone else completes the round.
         let (v, _): (usize, _) = p.sendrecv(WORLD, right, 7, &me, Src::Rank(left), 7)?;
         Ok(v)
     });
@@ -73,7 +77,7 @@ fn concurrent_universes_match_their_serial_runs() {
 fn injector_state_does_not_leak_between_universes() {
     std::thread::scope(|scope| {
         let faulty = scope.spawn(|| {
-            let plan = FaultPlan::none().kill_at(1, HookKind::AfterSend, 1);
+            let plan = FaultPlan::none().kill_at(1, HookKind::AfterRecvComplete, 1);
             let report = run(3, UniverseConfig::with_plan(plan).watchdog(wd()), |p| {
                 let me = p.comm_rank(WORLD)?;
                 let n = 3;

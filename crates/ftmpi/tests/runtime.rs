@@ -115,7 +115,10 @@ fn test_polls_without_blocking() {
 fn iprobe_and_probe_report_without_consuming() {
     let report = run_default(2, |p| {
         if p.world_rank() == 0 {
+            // Rank 1 sends only after our go-message, so nothing can
+            // match yet — the None is deterministic, not a race win.
             assert!(p.iprobe(WORLD, Src::Any, 5)?.is_none());
+            p.send(WORLD, 1, 0, &0u8)?;
             let st = p.probe(WORLD, Src::Rank(1), 5)?;
             assert_eq!(st.len, 8);
             // Probe again: still there.
@@ -124,6 +127,7 @@ fn iprobe_and_probe_report_without_consuming() {
             assert!(p.iprobe(WORLD, Src::Rank(1), 5)?.is_none());
             Ok(v)
         } else {
+            let (_, _) = p.recv::<u8>(WORLD, Src::Rank(0), 0)?;
             p.send(WORLD, 0, 5, &99u64)?;
             Ok(0)
         }
