@@ -35,12 +35,13 @@ fn bench_schedules_per_sec(c: &mut Criterion) {
     const BATCH: u64 = 10;
     group.throughput(Throughput::Elements(BATCH));
 
-    // Seeds wrap inside a validated-green window: the hardened ring has
-    // rare double-kill schedules that genuinely hang (first at seed
-    // 0x7f3 for 4 ranks), and a hung seed both fails the assert and
-    // burns the whole 200k-grant budget, wrecking the rate. See
-    // `bench_dst` for the full rationale.
-    const SEED_SPACE: u64 = 2000;
+    // Seeds wrap inside a validated-green window: sweeps have pinned
+    // 0..10000 green at both rank counts since the root-failover
+    // provenance fix (DESIGN.md §8.7) closed the double-kill hangs
+    // that used to cap this at 2000. A hung seed would both fail the
+    // assert and burn the whole 200k-grant budget, wrecking the rate.
+    // See `bench_dst` for the full rationale.
+    const SEED_SPACE: u64 = 10_000;
 
     for ranks in [4usize, 8] {
         let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };

@@ -80,15 +80,16 @@ fn main() {
     let window = if quick { Duration::from_millis(600) } else { Duration::from_secs(3) };
     let mut entries: Vec<Entry> = Vec::new();
 
-    // Seeds wrap inside a validated-green window. The seed space is NOT
-    // uniformly green: the hardened ring has rare double-kill schedules
-    // that genuinely hang (at 4 ranks the first is seed 0x7f3, ~0.07%
-    // of seeds ≤ 10000; see ROADMAP). A bench that walks an unbounded
-    // frontier both panics on those seeds and — worse for measurement —
-    // burns the full 200k-grant budget on each one, wrecking the rate.
-    // Throughput only needs representative work, so we reuse a window
-    // that sweeps have pinned green at both rank counts.
-    const SEED_SPACE: u64 = 2000;
+    // Seeds wrap inside a validated-green window. The window used to
+    // stop at 2000 because the hardened ring had rare double-kill
+    // schedules that genuinely hang (first at seed 0x7f3, ~0.07% of
+    // seeds ≤ 10000); the root-failover provenance fix (DESIGN.md
+    // §8.7) closed them, and sweeps now pin 0..10000 green at both
+    // rank counts. The bound still matters: a future hang would both
+    // panic the assert and burn the full 200k-grant budget on that
+    // seed, wrecking the rate — so keep the window at what sweeps
+    // actually validate.
+    const SEED_SPACE: u64 = 10_000;
 
     // Serial per-seed cost: one full schedule (sim + oracles) per item,
     // exactly the sweep engine's inner loop (zero-retention run). The

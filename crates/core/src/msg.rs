@@ -10,7 +10,8 @@ pub const T_D: Tag = 2;
 /// variant (§III-B first option).
 pub const T_R: Tag = 3;
 
-/// `struct ring_msg_t { int value; int marker; }` — plus optional
+/// `struct ring_msg_t { int value; int marker; }` — plus the
+/// originating rank (root-failover provenance, see below) and optional
 /// padding so latency benchmarks can sweep message sizes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RingMsg {
@@ -20,19 +21,33 @@ pub struct RingMsg {
     /// The iteration marker used for duplicate control (paper Fig. 3
     /// lines 17/25, §III-B).
     pub marker: u64,
+    /// World rank that originated this token. With root failover a
+    /// takeover root may hold in-flight tokens of the dead root *and*
+    /// its own originations at the same marker; marker dedup alone
+    /// cannot tell "my token came home" (a closure) from "the dead
+    /// root's token arrived" (forward, or close once at takeover), and
+    /// misreading one as the other double-originates a lap. Provenance
+    /// makes the distinction exact (DESIGN.md §8.7).
+    pub origin: usize,
     /// Padding bytes (zeroes) for message-size sweeps; not interpreted.
     pub pad: Vec<u8>,
 }
 
 impl RingMsg {
-    /// A fresh iteration token as the root originates it.
-    pub fn originate(marker: u64, pad: usize) -> Self {
-        RingMsg { value: 1, marker, pad: vec![0; pad] }
+    /// A fresh iteration token as the root `origin` originates it.
+    pub fn originate(marker: u64, origin: usize, pad: usize) -> Self {
+        RingMsg { value: 1, marker, origin, pad: vec![0; pad] }
     }
 
-    /// The token as forwarded by a non-root rank: value incremented.
+    /// The token as forwarded by a non-root rank: value incremented,
+    /// provenance preserved.
     pub fn forwarded(&self) -> Self {
-        RingMsg { value: self.value + 1, marker: self.marker, pad: self.pad.clone() }
+        RingMsg {
+            value: self.value + 1,
+            marker: self.marker,
+            origin: self.origin,
+            pad: self.pad.clone(),
+        }
     }
 }
 
@@ -42,14 +57,16 @@ impl Datatype for RingMsg {
     fn encode(&self, buf: &mut bytes::BytesMut) {
         self.value.encode(buf);
         self.marker.encode(buf);
+        (self.origin as u64).encode(buf);
         self.pad.encode(buf);
     }
 
     fn decode(bytes: &[u8]) -> ftmpi::Result<(Self, &[u8])> {
         let (value, rest) = i64::decode(bytes)?;
         let (marker, rest) = u64::decode(rest)?;
+        let (origin, rest) = u64::decode(rest)?;
         let (pad, rest) = Vec::<u8>::decode(rest)?;
-        Ok((RingMsg { value, marker, pad }, rest))
+        Ok((RingMsg { value, marker, origin: origin as usize, pad }, rest))
     }
 }
 
@@ -59,17 +76,17 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let m = RingMsg { value: -3, marker: 17, pad: vec![0; 5] };
+        let m = RingMsg { value: -3, marker: 17, origin: 2, pad: vec![0; 5] };
         let b = m.to_bytes();
         assert_eq!(RingMsg::from_bytes(&b).unwrap(), m);
     }
 
     #[test]
     fn originate_and_forward() {
-        let t = RingMsg::originate(4, 0);
-        assert_eq!((t.value, t.marker), (1, 4));
+        let t = RingMsg::originate(4, 1, 0);
+        assert_eq!((t.value, t.marker, t.origin), (1, 4, 1));
         let f = t.forwarded().forwarded();
-        assert_eq!((f.value, f.marker), (3, 4));
+        assert_eq!((f.value, f.marker, f.origin), (3, 4, 1));
     }
 
     #[test]

@@ -207,7 +207,7 @@ mod tests {
                 let t = ctx.recv_token()?;
                 Ok(t.value)
             } else if p.world_rank() == 0 {
-                p.send(WORLD, 1, T_N, &RingMsg::originate(0, 0))?;
+                p.send(WORLD, 1, T_N, &RingMsg::originate(0, 0, 0))?;
                 Ok(0)
             } else {
                 Ok(0)
@@ -236,7 +236,7 @@ mod tests {
                         let mut ctx = Ctx::new(p, WORLD, RingConfig::paper(8))?;
                         // Send the iteration-0 token to rank 2 (which
                         // dies on receipt, taking the token with it).
-                        ctx.ft_send_right(RingMsg { value: 5, marker: 0, pad: vec![] }, false)?;
+                        ctx.ft_send_right(RingMsg { value: 5, marker: 0, origin: 0, pad: vec![] }, false)?;
                         // Now wait for the next token; instead the
                         // detector fires and we resend to rank 3.
                         match ctx.recv_token() {
@@ -290,7 +290,7 @@ mod tests {
         let report = run_default(2, |p| {
             p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
             if p.world_rank() == 0 {
-                p.send(WORLD, 1, T_N, &RingMsg::originate(3, 0))?;
+                p.send(WORLD, 1, T_N, &RingMsg::originate(3, 0, 0))?;
                 Ok(0)
             } else {
                 let mut ctx = Ctx::new(p, WORLD, RingConfig::paper(8))?;

@@ -210,6 +210,12 @@ pub(crate) struct Ctx<'a> {
     pub cur: u64,
     /// Root only: set once the closure of `max_iter - 1` is seen.
     pub done: bool,
+    /// Whether this rank has originated a token itself. A takeover
+    /// root may close *one* lap of a dead predecessor (the lap whose
+    /// token can no longer come home to its originator); once this
+    /// rank originates, any further foreign `cur - 1` token is a stale
+    /// resend superseded by this rank's own circulating origination.
+    pub originated: bool,
     pub last_sent: Option<RingMsg>,
     /// Posted receive for normal tokens: (request, peer it targets).
     pub normal: Option<(Request, CommRank)>,
@@ -240,6 +246,7 @@ impl<'a> Ctx<'a> {
             cfg,
             cur: 0,
             done: false,
+            originated: false,
             last_sent: None,
             normal: None,
             resend_rx: None,
@@ -253,9 +260,10 @@ impl<'a> Ctx<'a> {
     /// advance.
     pub(crate) fn originate_next(&mut self) -> Result<()> {
         debug_assert!(self.is_root);
-        let token = RingMsg::originate(self.cur, self.cfg.pad);
+        let token = RingMsg::originate(self.cur, self.me, self.cfg.pad);
         self.ft_send_right(token, false)?;
         self.stats.originated += 1;
+        self.originated = true;
         self.cur += 1;
         Ok(())
     }
@@ -275,21 +283,49 @@ impl<'a> Ctx<'a> {
                 }
             }
             DedupStrategy::IterationMarker | DedupStrategy::SeparateTag => {
-                if t.marker == self.cur {
-                    // A token originated by the failed previous root:
-                    // participate like a forwarder (§III-D takeover).
+                if t.origin == self.me {
+                    // My own origination came home: the closure of lap
+                    // `marker`, unless a resend already closed it.
+                    if t.marker + 1 == self.cur {
+                        self.stats.closures.push((t.marker, t.value));
+                        if self.cur < self.cfg.max_iter {
+                            self.originate_next()?;
+                        } else {
+                            self.done = true;
+                        }
+                    } else if t.marker + 1 < self.cur {
+                        self.stats.duplicates_dropped += 1;
+                    } else {
+                        return Err(Error::InvalidState(
+                            "token from a future iteration: protocol violation",
+                        ));
+                    }
+                } else if t.marker == self.cur {
+                    // A token originated by the failed previous root
+                    // that has not passed here yet: participate like a
+                    // forwarder (§III-D takeover). It comes home later
+                    // for the takeover closure below.
                     let fwd = t.forwarded();
                     self.ft_send_right(fwd, false)?;
                     self.stats.forwarded += 1;
                     self.cur += 1;
-                } else if t.marker + 1 == self.cur {
+                } else if t.marker + 1 == self.cur && !self.originated {
+                    // Takeover closure: exactly one dead-root lap — the
+                    // one whose token can no longer come home to its
+                    // originator — may need closing by the new root.
+                    // Only before this rank's own first origination: a
+                    // foreign `cur - 1` token arriving after that is a
+                    // stale resend of a lap whose closure duty this
+                    // rank's own circulating token now carries, and
+                    // closing it here would double-originate the next
+                    // lap (seed 0x1882's cascade, DESIGN.md §8.7).
                     self.stats.closures.push((t.marker, t.value));
                     if self.cur < self.cfg.max_iter {
                         self.originate_next()?;
                     } else {
                         self.done = true;
                     }
-                } else if t.marker + 1 < self.cur {
+                } else if t.marker < self.cur {
                     self.stats.duplicates_dropped += 1;
                 } else {
                     return Err(Error::InvalidState(
@@ -350,6 +386,19 @@ impl<'a> Ctx<'a> {
                 return Ok(());
             }
             let token = self.recv_token()?;
+            // Close-succession window: a resent token can arrive (often
+            // on the detector slot — real data from the right matches
+            // it) *before* this rank has processed the failure
+            // notifications that make it the new root. Judging the
+            // token under the stale non-root view drops it as a "stale
+            // duplicate" (marker < cur) — the very closure this rank
+            // will then wait on forever once it does take over. Re-run
+            // the election against the current failed-set first, so the
+            // dispatch below always judges under a fixed-point view of
+            // who the root is. Free when the root is alive
+            // (`check_root_change` early-returns without communicating,
+            // so green schedules keep byte-identical decision logs).
+            self.check_root_change()?;
             if self.is_root {
                 self.root_handle_token(token)?;
             } else {

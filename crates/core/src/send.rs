@@ -73,7 +73,7 @@ mod tests {
             p.set_errhandler(WORLD, ErrorHandler::ErrorsReturn)?;
             if p.world_rank() == 0 {
                 let mut ctx = Ctx::new(p, WORLD, RingConfig::paper(1))?;
-                ctx.ft_send_right(RingMsg::originate(0, 0), false)?;
+                ctx.ft_send_right(RingMsg::originate(0, 0, 0), false)?;
                 Ok(0)
             } else if p.world_rank() == 1 {
                 let (m, st) = p.recv::<RingMsg>(WORLD, Src::Rank(0), crate::msg::T_N)?;
@@ -105,7 +105,7 @@ mod tests {
                         // creation; force the Fig. 5 resend path by
                         // aiming at the dead rank explicitly.
                         ctx.right = 1;
-                        ctx.ft_send_right(RingMsg::originate(7, 0), false)?;
+                        ctx.ft_send_right(RingMsg::originate(7, 0, 0), false)?;
                         assert_eq!(ctx.right, 2, "send walked past the failure");
                         assert_eq!(ctx.stats.right_switches, 1);
                         Ok(0)
@@ -143,7 +143,7 @@ mod tests {
                 }
                 let mut ctx = Ctx::new(p, WORLD, RingConfig::paper(1))?;
                 ctx.right = 1;
-                let err = ctx.ft_send_right(RingMsg::originate(0, 0), false).unwrap_err();
+                let err = ctx.ft_send_right(RingMsg::originate(0, 0, 0), false).unwrap_err();
                 assert!(matches!(err, ftmpi::Error::Aborted { code: -1 }));
                 Err(err)
             },

@@ -28,6 +28,7 @@ pub mod scenario;
 pub mod sched;
 pub mod shrink;
 pub mod sweep;
+pub mod triage;
 
 pub use oracle::{all_oracles, check_all, Oracle, Violation};
 pub use scenario::{
@@ -37,6 +38,7 @@ pub use scenario::{
 pub use sched::{SchedEvent, Scheduler, SplitMix64};
 pub use shrink::{shrink, Ev, Shrunk};
 pub use sweep::{sweep, FailureSummary, SweepCfg, SweepError, SweepReport};
+pub use triage::{triage, triage_trace, TriageReport, WaitEdge, WaitKind};
 
 /// Result of exploring one seed.
 #[derive(Debug)]

@@ -4,7 +4,7 @@
 //! dst explore --seeds 1000 [--start 0] [--jobs N] [--corpus PATH]
 //!             [--shrink-failures] [--max-failures N] [--no-pool]
 //!             [--buggy] [--ranks 4] [--iters 3]
-//! dst replay  --seed 0xBEEF [--buggy] [--log]
+//! dst replay  --seed 0xBEEF [--buggy] [--log] [--triage]
 //! dst shrink  --seed 0xBEEF [--buggy]
 //! dst determinism --seed 0xBEEF [--buggy]
 //! ```
@@ -44,6 +44,7 @@ struct Args {
     ranks: usize,
     iters: u64,
     show_log: bool,
+    triage: bool,
     /// `None`: auto (one worker per core). `Some(n)`: exactly `n`.
     jobs: Option<usize>,
     max_failures: usize,
@@ -64,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         ranks: 4,
         iters: 3,
         show_log: false,
+        triage: false,
         jobs: None,
         max_failures: 100,
         corpus: None,
@@ -89,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-pool" => args.no_pool = true,
             "--buggy" => args.buggy = true,
             "--log" => args.show_log = true,
+            "--triage" => args.triage = true,
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
     }
@@ -125,6 +128,12 @@ fn validate(args: &Args) -> Result<(), String> {
         // the flag there would imply it changes something.
         return Err(format!("--no-pool only applies to explore\n{}", usage()));
     }
+    if args.triage && args.cmd != "replay" {
+        // Explore prints triage on its failure lines unconditionally;
+        // the flag selects the full graph rendering, which only replay
+        // has an observation in hand for.
+        return Err(format!("--triage only applies to replay\n{}", usage()));
+    }
     Ok(())
 }
 
@@ -132,7 +141,7 @@ fn usage() -> String {
     "usage: dst <explore|replay|shrink|determinism> \
      [--seed S] [--seeds N] [--start S] [--jobs N] [--corpus PATH] \
      [--shrink-failures] [--max-failures N] [--no-pool] [--buggy] \
-     [--ranks N] [--iters N] [--log]"
+     [--ranks N] [--iters N] [--log] [--triage]"
         .to_string()
 }
 
@@ -168,6 +177,9 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
         }
         for v in &f.violations {
             println!("  violation: {v}");
+        }
+        if !f.triage.is_empty() {
+            println!("  triage: {}", f.triage);
         }
         if let Some(s) = &f.shrunk {
             println!("  shrunk ({} runs): {}", s.runs, s.events.join("; "));
@@ -224,6 +236,9 @@ fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
     let violations = check_all(&obs);
     for v in &violations {
         println!("violation: {v}");
+    }
+    if args.triage {
+        print!("{}", dst::triage(&obs));
     }
     if args.show_log {
         println!("--- decision log ---");

@@ -120,6 +120,10 @@ pub struct FailureSummary {
     pub kills: Vec<String>,
     /// Whether the run hung (logical-step budget exhausted).
     pub hung: bool,
+    /// One-line wait-for graph for hung runs (who waits on whom), from
+    /// the hang triager; empty for non-hang failures. Computed from
+    /// the quiet observation's trace — no re-run.
+    pub triage: String,
     /// Minimal event set from ddmin, when `shrink_failures` ran.
     pub shrunk: Option<ShrunkSummary>,
 }
@@ -203,6 +207,9 @@ fn corpus_line(fail: &FailureSummary, scenario: &ScenarioCfg) -> String {
     if let Some(s) = &fail.shrunk {
         line.push_str(&format!(" shrunk=[{}]", s.events.join("; ")));
     }
+    if !fail.triage.is_empty() {
+        line.push_str(&format!(" triage=[{}]", fail.triage));
+    }
     line.push_str(&format!(
         " repro=\"dst replay --seed {:#x} --ranks {} --iters {}{}\"",
         fail.seed,
@@ -285,6 +292,9 @@ fn fold_verdict(seed: u64, obs: Observation) -> (bool, Option<FailureSummary>) {
         violations: violations.iter().map(|v| v.to_string()).collect(),
         kills: obs.schedule.kills.iter().map(|k| k.to_string()).collect(),
         hung: obs.hung,
+        // The trace survives Retention::Quiet precisely so that a hang
+        // can be triaged here without re-running the seed.
+        triage: if obs.hung { crate::triage::triage(&obs).one_line() } else { String::new() },
         shrunk: None,
     };
     (obs.hung, Some(summary))
@@ -414,6 +424,7 @@ mod tests {
             violations: vec![],
             kills: vec![],
             hung: false,
+            triage: String::new(),
             shrunk: None,
         };
         let mut a = Aggregate::new(2);
@@ -439,12 +450,14 @@ mod tests {
             violations: vec!["dup".into()],
             kills: vec!["kill 2 at AfterSend#1".into()],
             hung: false,
+            triage: "rank 3 waits on T_N from rank 2 (DEAD)".into(),
             shrunk: Some(ShrunkSummary { events: vec!["kill 2 at AfterSend#1".into()], runs: 3 }),
         };
         let cfg = ScenarioCfg { buggy_dedup: true, ..ScenarioCfg::default() };
         let line = corpus_line(&fail, &cfg);
         assert!(line.contains("seed=0x2d"));
         assert!(line.contains("oracles=no-duplicate"));
+        assert!(line.contains("triage=[rank 3 waits on T_N from rank 2 (DEAD)]"));
         assert!(line.contains("--buggy"));
         assert!(line.contains("dst replay --seed 0x2d"));
         assert!(!line.contains('\n'));

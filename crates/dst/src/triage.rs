@@ -1,0 +1,333 @@
+//! Hang triager: wait-for graphs from hung schedules.
+//!
+//! A logical-watchdog abort says *that* a schedule hung, not *why*. The
+//! runtime helps: at the moment a rank observes the abort it snapshots
+//! every request it is still parked on into the trace as
+//! [`Event::Blocked`] records (the live request table, not an inference
+//! — see `ftmpi::process`). This module folds those records, plus the
+//! kill and progress events around them, into a [`TriageReport`]: one
+//! [`WaitEdge`] per parked request, annotated with whether the awaited
+//! peer is dead and what the rank last did before parking. Rendered by
+//! `dst replay --seed S --triage` and appended to explore failure
+//! lines, it turns "budget exhaustion" into
+//! "rank 2 waits on T_N from rank 1 (DEAD)".
+//!
+//! The triager is a pure function of an [`Observation`], and the trace
+//! survives [`Retention::Quiet`](crate::Retention), so sweep workers
+//! can triage failures without re-running the seed.
+
+use ftmpi::{BlockedOn, Event, Tag, TimedEvent};
+use ftring::{T_D, T_N, T_R};
+
+use crate::scenario::Observation;
+
+/// What a parked rank was waiting on, with liveness annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitKind {
+    /// A posted receive that never completed.
+    Recv {
+        /// Peer the receive names; `None` for `MPI_ANY_SOURCE`.
+        src: Option<usize>,
+        /// Tag the receive names; `None` for `MPI_ANY_TAG`.
+        tag: Option<Tag>,
+        /// Whether the named peer was fail-stopped during the run.
+        peer_dead: bool,
+    },
+    /// An `icomm_validate_all` round that never decided.
+    Validate {
+        /// The undecided round.
+        round: u64,
+    },
+    /// An `ibarrier` round that never completed.
+    Barrier {
+        /// The incomplete round.
+        round: u64,
+    },
+}
+
+/// One edge of the wait-for graph: `rank` is parked on `on`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The parked rank.
+    pub rank: usize,
+    /// The request it is parked on.
+    pub on: WaitKind,
+    /// The last protocol step `rank` completed before parking, rendered
+    /// (e.g. "sent T_N to 2 at t=76"), when the trace shows one.
+    pub last_step: Option<String>,
+    /// Tokens (`T_N`/`T_R` matches) this rank handled before parking —
+    /// how far around the ring it got.
+    pub tokens_handled: u64,
+}
+
+/// The reconstructed wait-for graph of one hung schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriageReport {
+    /// One edge per parked request, in rank order (then record order).
+    pub edges: Vec<WaitEdge>,
+    /// Ranks fail-stopped during the run, in kill order.
+    pub killed: Vec<usize>,
+}
+
+impl TriageReport {
+    /// Whether the graph has any edge — a completed run triages empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Edges whose awaited peer is dead: the root causes. A hang with
+    /// none of these is a cycle among live ranks instead.
+    pub fn dead_peer_edges(&self) -> impl Iterator<Item = &WaitEdge> {
+        self.edges.iter().filter(|e| {
+            matches!(e.on, WaitKind::Recv { peer_dead: true, .. })
+        })
+    }
+
+    /// One-line rendering for sweep failure output.
+    pub fn one_line(&self) -> String {
+        self.edges.iter().map(render_edge).collect::<Vec<_>>().join("; ")
+    }
+}
+
+/// Protocol-aware tag name: the ring's three tags get their DESIGN.md
+/// names, anything else stays numeric.
+fn tag_name(tag: Tag) -> String {
+    match tag {
+        t if t == T_N => "T_N".into(),
+        t if t == T_D => "T_D".into(),
+        t if t == T_R => "T_R".into(),
+        t => format!("tag {t}"),
+    }
+}
+
+fn render_edge(e: &WaitEdge) -> String {
+    let mut s = match &e.on {
+        WaitKind::Recv { src, tag, peer_dead } => {
+            let tag = match tag {
+                Some(t) => tag_name(*t),
+                None => "any tag".into(),
+            };
+            match src {
+                Some(p) => format!(
+                    "rank {} waits on {} from rank {}{}",
+                    e.rank,
+                    tag,
+                    p,
+                    if *peer_dead { " (DEAD)" } else { "" }
+                ),
+                None => format!("rank {} waits on {} from any source", e.rank, tag),
+            }
+        }
+        WaitKind::Validate { round } => {
+            format!("rank {} waits on validate round {}", e.rank, round)
+        }
+        WaitKind::Barrier { round } => {
+            format!("rank {} waits on barrier round {}", e.rank, round)
+        }
+    };
+    if let Some(last) = &e.last_step {
+        s.push_str(&format!(" [last: {last}]"));
+    }
+    s
+}
+
+impl std::fmt::Display for TriageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "wait-for graph: empty (no rank parked at abort)");
+        }
+        writeln!(f, "wait-for graph at watchdog abort:")?;
+        if !self.killed.is_empty() {
+            writeln!(f, "  dead: {:?}", self.killed)?;
+        }
+        for e in &self.edges {
+            writeln!(f, "  {} [{} token(s) handled]", render_edge(e), e.tokens_handled)?;
+        }
+        Ok(())
+    }
+}
+
+/// Reconstruct the wait-for graph from a trace: one [`WaitEdge`] per
+/// [`Event::Blocked`] record, each annotated from the events *before*
+/// it (kills for peer liveness, sends/matches for the rank's last
+/// completed step and token count).
+///
+/// Works on any [`Observation`] — completed runs have no `Blocked`
+/// records and triage to an empty graph — and on hand-built traces
+/// (see the unit tests), so it needs no live universe.
+pub fn triage(obs: &Observation) -> TriageReport {
+    triage_trace(&obs.trace)
+}
+
+/// [`triage`] on a bare event stream.
+pub fn triage_trace(trace: &[TimedEvent]) -> TriageReport {
+    let mut killed: Vec<usize> = Vec::new();
+    // Last completed protocol step per rank, updated as the scan walks
+    // the trace in record order, so each Blocked record sees the state
+    // just before its rank parked.
+    let n_ranks = trace
+        .iter()
+        .map(|te| match &te.event {
+            Event::Send { src, dst, .. } => (*src).max(*dst) + 1,
+            Event::RecvMatch { dst, .. } => *dst + 1,
+            Event::Blocked { rank, .. }
+            | Event::Killed { rank }
+            | Event::RecvFailure { rank, .. } => *rank + 1,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut last_step: Vec<Option<String>> = vec![None; n_ranks];
+    let mut tokens: Vec<u64> = vec![0; n_ranks];
+    let mut edges: Vec<WaitEdge> = Vec::new();
+
+    for te in trace {
+        match &te.event {
+            Event::Killed { rank } => {
+                if !killed.contains(rank) {
+                    killed.push(*rank);
+                }
+            }
+            Event::Send { src, dst, tag, .. } => {
+                last_step[*src] =
+                    Some(format!("sent {} to {} at t={}", tag_name(*tag), dst, te.at_us));
+            }
+            Event::RecvMatch { dst, src, tag, .. } => {
+                last_step[*dst] =
+                    Some(format!("matched {} from {} at t={}", tag_name(*tag), src, te.at_us));
+                if *tag == T_N || *tag == T_R {
+                    tokens[*dst] += 1;
+                }
+            }
+            Event::RecvFailure { rank, peer } => {
+                last_step[*rank] =
+                    Some(format!("detector fired on rank {} at t={}", peer, te.at_us));
+            }
+            Event::Blocked { rank, on } => {
+                let on = match *on {
+                    BlockedOn::Recv { src, tag, .. } => WaitKind::Recv {
+                        src,
+                        tag,
+                        peer_dead: src.map_or(false, |p| killed.contains(&p)),
+                    },
+                    BlockedOn::Validate { round } => WaitKind::Validate { round },
+                    BlockedOn::Barrier { round } => WaitKind::Barrier { round },
+                };
+                edges.push(WaitEdge {
+                    rank: *rank,
+                    on,
+                    last_step: last_step[*rank].clone(),
+                    tokens_handled: tokens[*rank],
+                });
+            }
+            _ => {}
+        }
+    }
+    // Rank order first, record order second: ranks dump their requests
+    // in whatever order the scheduler broke them out of the hang, which
+    // is seed-dependent noise for a reader. Identical edges collapse —
+    // the ring's detector receive often names the same peer and tag as
+    // the normal receive (two-survivor case: left == right).
+    edges.sort_by_key(|e| e.rank);
+    edges.dedup();
+    TriageReport { edges, killed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(at_us: u64, event: Event) -> TimedEvent {
+        TimedEvent { at_us, event }
+    }
+
+    /// A hand-built hung trace yields exactly the expected edges: the
+    /// survivor parked on its dead left neighbor's token, annotated
+    /// with its last completed step, and the dead set.
+    #[test]
+    fn hand_built_hang_yields_expected_edges() {
+        let trace = vec![
+            at(1, Event::Send { src: 0, dst: 1, context: 0, tag: T_N, len: 8 }),
+            at(2, Event::RecvMatch { dst: 1, src: 0, context: 0, tag: T_N, seq: 0 }),
+            at(3, Event::Killed { rank: 1 }),
+            at(4, Event::Killed { rank: 3 }),
+            at(5, Event::RecvFailure { rank: 2, peer: 3 }),
+            at(6, Event::Aborted { code: -9999 }),
+            at(
+                7,
+                Event::Blocked {
+                    rank: 2,
+                    on: BlockedOn::Recv { context: 0, src: Some(1), tag: Some(T_N) },
+                },
+            ),
+            at(
+                8,
+                Event::Blocked { rank: 0, on: BlockedOn::Validate { round: 2 } },
+            ),
+        ];
+        let report = triage_trace(&trace);
+        assert_eq!(report.killed, vec![1, 3]);
+        assert_eq!(report.edges.len(), 2);
+
+        // Sorted by rank: rank 0's validate edge first.
+        assert_eq!(report.edges[0].rank, 0);
+        assert_eq!(report.edges[0].on, WaitKind::Validate { round: 2 });
+        assert_eq!(
+            report.edges[0].last_step.as_deref(),
+            Some("sent T_N to 1 at t=1")
+        );
+
+        assert_eq!(report.edges[1].rank, 2);
+        assert_eq!(
+            report.edges[1].on,
+            WaitKind::Recv { src: Some(1), tag: Some(T_N), peer_dead: true }
+        );
+        assert_eq!(
+            report.edges[1].last_step.as_deref(),
+            Some("detector fired on rank 3 at t=5")
+        );
+        assert_eq!(report.dead_peer_edges().count(), 1);
+
+        let rendered = report.to_string();
+        assert!(rendered.contains("rank 2 waits on T_N from rank 1 (DEAD)"), "{rendered}");
+        assert!(rendered.contains("rank 0 waits on validate round 2"), "{rendered}");
+    }
+
+    /// A completed run records no `Blocked` events, so the graph is
+    /// empty no matter how much traffic the trace holds.
+    #[test]
+    fn completed_trace_triages_empty() {
+        let trace = vec![
+            at(1, Event::Send { src: 0, dst: 1, context: 0, tag: T_N, len: 8 }),
+            at(2, Event::RecvMatch { dst: 1, src: 0, context: 0, tag: T_N, seq: 0 }),
+            at(3, Event::Send { src: 1, dst: 0, context: 0, tag: T_N, len: 8 }),
+        ];
+        let report = triage_trace(&trace);
+        assert!(report.is_empty());
+        assert!(report.killed.is_empty());
+        assert!(report.to_string().contains("empty"));
+    }
+
+    /// Token counts distinguish "never got the token" from "lost it
+    /// mid-lap", and `MPI_ANY_SOURCE` receives render without a peer.
+    #[test]
+    fn token_counts_and_any_source_render() {
+        let trace = vec![
+            at(1, Event::RecvMatch { dst: 2, src: 1, context: 0, tag: T_N, seq: 0 }),
+            at(2, Event::RecvMatch { dst: 2, src: 1, context: 0, tag: T_R, seq: 1 }),
+            at(3, Event::RecvMatch { dst: 2, src: 1, context: 0, tag: T_D, seq: 2 }),
+            at(
+                4,
+                Event::Blocked {
+                    rank: 2,
+                    on: BlockedOn::Recv { context: 0, src: None, tag: Some(T_D) },
+                },
+            ),
+        ];
+        let report = triage_trace(&trace);
+        assert_eq!(report.edges.len(), 1);
+        // T_N + T_R count as tokens; T_D does not.
+        assert_eq!(report.edges[0].tokens_handled, 2);
+        assert!(report.one_line().contains("rank 2 waits on T_D from any source"));
+    }
+}

@@ -79,7 +79,7 @@ pub use rank::{CommRank, RankInfo, RankState, WorldRank, ANY_SOURCE, PROC_NULL};
 pub use request::{Completion, Request};
 pub use status::Status;
 pub use tag::{check_user_tag, Tag, TagSel, TAG_UB};
-pub use trace::{Event, TimedEvent, Trace};
+pub use trace::{BlockedOn, Event, TimedEvent, Trace};
 pub use universe::{run, run_default, RespawnPolicy, RunReport, UniverseConfig, WATCHDOG_ABORT_CODE};
 
 // Re-export the fault-injection vocabulary (and the payload byte

@@ -92,6 +92,11 @@ pub struct Process {
     /// Reusable drain buffer for [`Fabric::drain_into`]: one mailbox
     /// drain per progress pass, zero steady-state allocations.
     drain_buf: Vec<Envelope>,
+    /// Whether this rank already snapshot its parked requests into the
+    /// trace after a logical-watchdog abort (`Event::Blocked` is a
+    /// once-per-rank dump, but every subsequent `sched_step` observes
+    /// the abort too).
+    blocked_dumped: bool,
 }
 
 impl Process {
@@ -121,6 +126,7 @@ impl Process {
             engine: MatchEngine::new(),
             send_seq: vec![0; n],
             drain_buf,
+            blocked_dumped: false,
         }
     }
 
@@ -203,13 +209,63 @@ impl Process {
     /// granted, and converts a exhausted step budget into a job abort
     /// (the logical-step replacement for the wall-clock watchdog).
     fn sched_step(&mut self, point: SchedPoint) -> Result<()> {
-        if let Some(s) = &self.shared.sched {
-            if s.step(self.me, point) == StepOutcome::Abort {
-                self.shared.abort(crate::universe::WATCHDOG_ABORT_CODE);
-                return Err(Error::Aborted { code: crate::universe::WATCHDOG_ABORT_CODE });
+        let aborted = match &self.shared.sched {
+            Some(s) => s.step(self.me, point) == StepOutcome::Abort,
+            None => return Ok(()),
+        };
+        if aborted {
+            if !self.blocked_dumped {
+                self.blocked_dumped = true;
+                self.record_blocked_requests();
             }
+            self.shared.abort(crate::universe::WATCHDOG_ABORT_CODE);
+            return Err(Error::Aborted { code: crate::universe::WATCHDOG_ABORT_CODE });
         }
         Ok(())
+    }
+
+    /// One-shot dump of every request this rank is still parked on,
+    /// taken at the moment the logical watchdog breaks a simulated
+    /// hang. Each pending receive, validate and barrier becomes an
+    /// [`Event::Blocked`] trace event; the `dst` hang triager rebuilds
+    /// the per-rank wait-for graph from them. Exact by construction:
+    /// this is the live request table, not an inference from the event
+    /// stream.
+    fn record_blocked_requests(&self) {
+        if !self.shared.trace.enabled() {
+            return;
+        }
+        for &req in self.engine.posted_slice() {
+            if !self.reqs.is_pending(req) {
+                continue;
+            }
+            if let Ok(ReqBody::Recv(spec)) = self.reqs.body(req) {
+                self.shared.trace.record(Event::Blocked {
+                    rank: self.me,
+                    on: crate::trace::BlockedOn::Recv {
+                        context: spec.context,
+                        src: match spec.src {
+                            SrcSel::Exact(s) => Some(s),
+                            SrcSel::Any => None,
+                        },
+                        tag: match spec.tag {
+                            TagSel::Exact(t) => Some(t),
+                            TagSel::Any => None,
+                        },
+                    },
+                });
+            }
+        }
+        for (_, _, round) in self.reqs.pending_validates() {
+            self.shared
+                .trace
+                .record(Event::Blocked { rank: self.me, on: crate::trace::BlockedOn::Validate { round } });
+        }
+        for (_, _, round) in self.reqs.pending_barriers() {
+            self.shared
+                .trace
+                .record(Event::Blocked { rank: self.me, on: crate::trace::BlockedOn::Barrier { round } });
+        }
     }
 
     /// Consult the fault injector at a protocol point.

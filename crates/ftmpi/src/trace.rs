@@ -15,6 +15,32 @@ use crate::message::ContextId;
 use crate::rank::WorldRank;
 use crate::tag::Tag;
 
+/// What a rank was waiting on when a simulated hang was broken (see
+/// [`Event::Blocked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// A posted receive that never completed.
+    Recv {
+        /// Communicator context of the receive.
+        context: ContextId,
+        /// Peer the receive names (communicator rank); `None` for
+        /// `MPI_ANY_SOURCE`.
+        src: Option<usize>,
+        /// Tag the receive names; `None` for `MPI_ANY_TAG`.
+        tag: Option<Tag>,
+    },
+    /// An `icomm_validate_all` round that never decided.
+    Validate {
+        /// The validate round joined.
+        round: u64,
+    },
+    /// An `ibarrier` round that never completed.
+    Barrier {
+        /// The barrier round joined.
+        round: u64,
+    },
+}
+
 /// One traced protocol event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
@@ -69,6 +95,17 @@ pub enum Event {
     Aborted {
         /// Abort code.
         code: i32,
+    },
+    /// Snapshot of one outstanding request `rank` was parked on when
+    /// the deterministic-simulation step budget broke a hang: recorded
+    /// once per pending request, per rank, at the moment the rank
+    /// observes the logical-watchdog abort. The `dst` hang triager
+    /// reconstructs the per-rank wait-for graph from these events.
+    Blocked {
+        /// The parked rank.
+        rank: WorldRank,
+        /// The request it was blocked on.
+        on: BlockedOn,
     },
     /// A `validate_all` round decided on a communicator.
     ValidateDecided {

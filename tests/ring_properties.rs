@@ -160,6 +160,59 @@ proptest! {
         }
     }
 
+    /// The cascading-failure window (DESIGN.md §8.7): two *adjacent*
+    /// ranks dying in close succession — second kill at most
+    /// `CLOSE_SUCCESSION` hook occurrences after the first — is
+    /// exactly the shape of every double-kill hang DST found (seeds
+    /// 0x7f3 … 0x2624): resend targets and root views go stale between
+    /// the first death's detection and the second death. The hardened
+    /// ring must complete and every survivor must terminate — a hang
+    /// here means some rank waited forever on a failed peer, i.e. the
+    /// detector machinery missed a failure it was responsible for.
+    #[test]
+    fn ring_completes_under_adjacent_double_kills_in_close_succession(
+        world in 4usize..9,
+        max_iter in 3u64..6,
+        first in 0usize..8,
+        kind_a in 0u8..4,
+        kind_b in 0u8..4,
+        occurrence in 1u64..5,
+        delta in 0u64..3,
+    ) {
+        prop_assume!(first < world);
+        let second = (first + 1) % world;
+        let kills = vec![
+            Kill { victim: first, kind: kind_a, occurrence },
+            Kill { victim: second, kind: kind_b, occurrence: occurrence + delta },
+        ];
+        // world >= 4 keeps at least two ranks alive (an alone survivor
+        // aborts by design, per Fig. 4/5).
+        let plan = build_plan(&kills);
+        let cfg = RingConfig::with_root_failover(max_iter);
+        let report = run(
+            world,
+            UniverseConfig::with_plan(plan).watchdog(Duration::from_secs(120)),
+            move |p| run_ring(p, WORLD, &cfg),
+        );
+        let s = summarize(&report);
+        // Ring completion: nobody waits forever on the dead pair.
+        prop_assert!(!s.hung, "hung with adjacent kills {kills:?}: {s:?}");
+        prop_assert!(!s.has_double_completion(), "closures {:?}", s.closures);
+        // Detector completeness: every survivor observed the failures,
+        // terminated, and handled every lap exactly once.
+        for &r in &s.survivors {
+            let stats = report.outcomes[r].as_ok().unwrap();
+            prop_assert!(stats.terminated, "rank {} did not terminate ({kills:?})", r);
+            prop_assert_eq!(
+                stats.originated + stats.forwarded,
+                max_iter,
+                "rank {} participation (kills {:?})",
+                r,
+                kills
+            );
+        }
+    }
+
     /// The Fig. 8 oracle: with dedup disabled and the deterministic
     /// die-as-downstream-forwards trigger, the double completion is
     /// *always* observable — across world sizes and iterations.
