@@ -3,9 +3,10 @@
 //! Where the criterion bench (`benches/schedules_per_sec.rs`) prints
 //! human-readable timings, this binary emits a machine-readable record
 //! of schedules/sec for the series the roadmap tracks — `explore/{4,8}`
-//! (serial per-seed cost) and `sweep_jobs/{1,8}` (the parallel engine)
-//! — so the perf trajectory is a committed artifact, not folklore in PR
-//! descriptions.
+//! (serial per-seed cost), `explore_shape/<shape>` (per-kill-shape cost
+//! of the taxonomy sweeps, DESIGN.md §8.8) and `sweep_jobs/{1,8}` (the
+//! parallel engine) — so the perf trajectory is a committed artifact,
+//! not folklore in PR descriptions.
 //!
 //! The tracked ids measure the default (pooled) executor: each series
 //! reuses one persistent rank-executor pool across schedules. The
@@ -25,7 +26,7 @@
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use dst::{check_all, run_seed_quiet, sweep, ScenarioCfg, SeedRunner, SweepCfg};
+use dst::{check_all, run_seed_quiet, sweep, KillShape, ScenarioCfg, SeedRunner, SweepCfg};
 
 /// One measured series.
 struct Entry {
@@ -132,6 +133,36 @@ fn main() {
             schedules,
             elapsed,
         });
+    }
+
+    // Per-shape serial cost at 4 ranks (kill-shape taxonomy, DESIGN.md
+    // §8.8): the pooled inner loop of `dst explore --shape <name>`.
+    // Shapes derive different kill counts (pair 0–2 kills, the triple
+    // family 3), so per-shape rates are expected to differ — the point
+    // of the series is that each shape's cost is tracked, not equal.
+    // Seeds wrap inside 0..100_000, the window the taxonomy sweeps pin
+    // green at both rank counts.
+    const SHAPE_SEED_SPACE: u64 = 100_000;
+    {
+        let mut runner = SeedRunner::new(4);
+        for shape in KillShape::ALL {
+            let cfg = ScenarioCfg { shape, ..ScenarioCfg::default() };
+            let (rate, batches, schedules, elapsed) =
+                measure(EXPLORE_BATCH, window, |round| {
+                    let base = round * EXPLORE_BATCH;
+                    for s in (base..base + EXPLORE_BATCH).map(|s| s % SHAPE_SEED_SPACE) {
+                        let obs = runner.run_seed_quiet(s, &cfg);
+                        let violations = check_all(&obs);
+                        assert!(
+                            violations.is_empty(),
+                            "shape {shape} seed {s:#x} violated: {violations:?}"
+                        );
+                    }
+                });
+            let id = format!("explore_shape/{shape}");
+            eprintln!("{id}: {rate:.1} schedules/sec ({schedules} in {elapsed:?})");
+            entries.push(Entry { id, rate, batches, schedules, elapsed });
+        }
     }
 
     // The parallel engine at the tracked worker counts, pooled

@@ -350,7 +350,12 @@ mod recovery_tests {
     /// more tasks. Every task still completes exactly once.
     #[test]
     fn respawned_worker_rejoins_the_farm() {
-        let tasks: Vec<u64> = (0..400u64).map(|i| i * 7 + 1).collect();
+        // Enough tasks that the farm is still draining when the 2ms
+        // respawn timer fires: an idle machine churns a few hundred
+        // trivial tasks per millisecond, and a queue that empties
+        // before the respawn leaves generation 1 nothing to rejoin
+        // (the assertion below then fails spuriously).
+        let tasks: Vec<u64> = (0..4000u64).map(|i| i * 7 + 1).collect();
         let plan = FaultPlan::none().with(FaultRule::kill(
             2,
             Trigger::on(HookKind::AfterRecvComplete).tag(TASK_TAG).nth(2),

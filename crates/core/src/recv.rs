@@ -41,7 +41,8 @@ impl Ctx<'_> {
     fn salvage(&mut self, req: Request) -> Result<()> {
         match self.p.test(req) {
             Ok(Some(c)) if !c.status.is_proc_null() && !c.data.is_empty() => {
-                self.pending.push_back(RingMsg::from_bytes(&c.data)?);
+                self.pending
+                    .push_back((RingMsg::from_bytes(&c.data)?, c.status.source));
                 Ok(())
             }
             Ok(Some(_)) => Ok(()),
@@ -112,11 +113,57 @@ impl Ctx<'_> {
         }
     }
 
+    /// A token just arrived on the detector slot. If the normal slot
+    /// has *also* completed with data, both tokens are from the same
+    /// peer (detector data implies right == left), and per-link FIFO
+    /// must extend to consumption: return the lower marker now and
+    /// queue the other in `pending`.
+    fn ordered_with_normal_slot(
+        &mut self,
+        tok: RingMsg,
+        sender: Option<ftmpi::CommRank>,
+    ) -> Result<RingMsg> {
+        let Some((nreq, _)) = self.normal else { return Ok(tok) };
+        match self.p.test(nreq) {
+            Ok(Some(nc)) if !nc.status.is_proc_null() && !nc.data.is_empty() => {
+                self.normal = None;
+                let ntok = RingMsg::from_bytes(&nc.data)?;
+                let nsender = nc.status.source;
+                if ntok.marker <= tok.marker {
+                    self.pending.push_back((tok, sender));
+                    self.last_recv_from = nsender;
+                    Ok(ntok)
+                } else {
+                    self.pending.push_back((ntok, nsender));
+                    Ok(tok)
+                }
+            }
+            // Empty/proc-null completion: consumed, nothing to order.
+            Ok(Some(_)) => {
+                self.normal = None;
+                Ok(tok)
+            }
+            // Still in flight: the posted request stays live.
+            Ok(None) => Ok(tok),
+            Err(e) if e.is_terminal() => Err(e),
+            // Completed in failure: the left neighbour died. The test
+            // consumed the notification, so clear the slot — the next
+            // `ensure_receivers` re-posts toward the (dead) left and
+            // the failure resurfaces through the regular
+            // `advance_left` path.
+            Err(_) => {
+                self.normal = None;
+                Ok(tok)
+            }
+        }
+    }
+
     /// Block until the next ring token arrives, transparently handling
     /// neighbour failures per the configured strategy.
     pub(crate) fn recv_token(&mut self) -> Result<RingMsg> {
         loop {
-            if let Some(t) = self.pending.pop_front() {
+            if let Some((t, sender)) = self.pending.pop_front() {
+                self.last_recv_from = sender;
                 return Ok(t);
             }
             self.ensure_receivers()?;
@@ -148,8 +195,18 @@ impl Ctx<'_> {
                 match out.result {
                     Ok(c) if !c.status.is_proc_null() => {
                         // Two-rank ring: the "detector" caught a real
-                        // token (right == left there).
-                        return RingMsg::from_bytes(&c.data);
+                        // token (right == left there). The normal slot
+                        // may simultaneously hold the *older* in-flight
+                        // token from the same peer (e.g. a delayed
+                        // forward overtaken by the next origination
+                        // after a takeover); consuming the detector's
+                        // catch first would reorder the link and trip
+                        // the future-iteration guard downstream. Check
+                        // the normal slot and hand tokens out in marker
+                        // order (cascade seed 0xf5a).
+                        let tok = RingMsg::from_bytes(&c.data)?;
+                        self.last_recv_from = c.status.source;
+                        return self.ordered_with_normal_slot(tok, c.status.source);
                     }
                     Ok(_) | Err(Error::RankFailStop { .. }) => {
                         // Fig. 9 lines 11–15: right neighbour failed;
@@ -174,6 +231,7 @@ impl Ctx<'_> {
             }
             match out.result {
                 Ok(c) if !c.status.is_proc_null() => {
+                    self.last_recv_from = c.status.source;
                     return RingMsg::from_bytes(&c.data);
                 }
                 Ok(_) | Err(Error::RankFailStop { .. }) => {

@@ -224,8 +224,11 @@ pub(crate) struct Ctx<'a> {
     /// Failure-detector receive posted to the right neighbour.
     pub detector: Option<(Request, CommRank)>,
     /// Tokens recovered from receives that had completed when their
-    /// peer slot was recycled.
-    pub pending: VecDeque<RingMsg>,
+    /// peer slot was recycled, each with the rank that sent it.
+    pub pending: VecDeque<(RingMsg, Option<CommRank>)>,
+    /// The rank that sent the token most recently returned by
+    /// `recv_token` — the token's immediate sender, not its origin.
+    pub last_recv_from: Option<CommRank>,
     pub stats: RingStats,
 }
 
@@ -252,6 +255,7 @@ impl<'a> Ctx<'a> {
             resend_rx: None,
             detector: None,
             pending: VecDeque::new(),
+            last_recv_from: None,
             stats: RingStats::default(),
         })
     }
@@ -304,12 +308,17 @@ impl<'a> Ctx<'a> {
                     // A token originated by the failed previous root
                     // that has not passed here yet: participate like a
                     // forwarder (§III-D takeover). It comes home later
-                    // for the takeover closure below.
+                    // for the takeover closure below. `cur` advances
+                    // *before* the send so the lap counts as handled
+                    // even while `ft_send_right` is mid-walk.
                     let fwd = t.forwarded();
+                    self.cur += 1;
                     self.ft_send_right(fwd, false)?;
                     self.stats.forwarded += 1;
-                    self.cur += 1;
-                } else if t.marker + 1 == self.cur && !self.originated {
+                } else if t.marker + 1 == self.cur
+                    && !self.originated
+                    && self.last_recv_from != Some(t.origin)
+                {
                     // Takeover closure: exactly one dead-root lap — the
                     // one whose token can no longer come home to its
                     // originator — may need closing by the new root.
@@ -319,6 +328,18 @@ impl<'a> Ctx<'a> {
                     // rank's own circulating token now carries, and
                     // closing it here would double-originate the next
                     // lap (seed 0x1882's cascade, DESIGN.md §8.7).
+                    // And only if the token actually *circulated*: a
+                    // closure has been forwarded through every survivor,
+                    // so its immediate sender is this rank's live
+                    // predecessor, never the (dead) origin itself. A
+                    // token arriving straight from its origin is a
+                    // zero-hop duplicate — the dead root's origination
+                    // or detector resend delivered directly to us —
+                    // while the real lap token is still circulating.
+                    // Closing on it puts two live tokens in the ring,
+                    // and a rank that then dies holding the older one
+                    // strands a survivor on a lap it never saw
+                    // (triple-shape seed 0x18576 at 8 ranks, §8.8).
                     self.stats.closures.push((t.marker, t.value));
                     if self.cur < self.cfg.max_iter {
                         self.originate_next()?;
@@ -347,16 +368,26 @@ impl<'a> Ctx<'a> {
                     self.stats.duplicate_forwards += 1;
                 }
                 let fwd = t.forwarded();
+                self.cur += 1;
                 self.ft_send_right(fwd, false)?;
                 self.stats.forwarded += 1;
-                self.cur += 1;
             }
             DedupStrategy::IterationMarker | DedupStrategy::SeparateTag => {
                 if t.marker == self.cur {
+                    // `cur` advances *before* the send: `ft_send_right`
+                    // can walk past a dead right neighbour into
+                    // `check_root_change`, and a takeover that runs
+                    // mid-forward must see this lap as already handled.
+                    // Incrementing after the send let the `cur == 0`
+                    // takeover originate a second marker-`cur` token and
+                    // then double-count the lap (`cur` = 2 with one lap
+                    // handled), so the new root later dropped its own
+                    // closure as stale — both survivors deadlocked
+                    // (root-chain seed 0x1d1).
                     let fwd = t.forwarded();
+                    self.cur += 1;
                     self.ft_send_right(fwd, false)?;
                     self.stats.forwarded += 1;
-                    self.cur += 1;
                 } else if t.marker < self.cur {
                     self.stats.duplicates_dropped += 1;
                 } else {

@@ -32,8 +32,8 @@ pub mod triage;
 
 pub use oracle::{all_oracles, check_all, Oracle, Violation};
 pub use scenario::{
-    run_schedule, run_schedule_with, run_seed, run_seed_quiet, Kill, Observation, Retention,
-    ScenarioCfg, Schedule, SeedRunner,
+    run_schedule, run_schedule_with, run_seed, run_seed_quiet, Kill, KillShape, Observation,
+    Retention, ScenarioCfg, Schedule, SeedRunner,
 };
 pub use sched::{SchedEvent, Scheduler, SplitMix64};
 pub use shrink::{shrink, Ev, Shrunk};

@@ -3,10 +3,10 @@
 //! ```text
 //! dst explore --seeds 1000 [--start 0] [--jobs N] [--corpus PATH]
 //!             [--shrink-failures] [--max-failures N] [--no-pool]
-//!             [--buggy] [--ranks 4] [--iters 3]
-//! dst replay  --seed 0xBEEF [--buggy] [--log] [--triage]
-//! dst shrink  --seed 0xBEEF [--buggy]
-//! dst determinism --seed 0xBEEF [--buggy]
+//!             [--shape <name|all>] [--buggy] [--ranks 4] [--iters 3]
+//! dst replay  --seed 0xBEEF [--shape NAME] [--buggy] [--log] [--triage]
+//! dst shrink  --seed 0xBEEF [--shape NAME] [--buggy]
+//! dst determinism --seed 0xBEEF [--shape NAME] [--buggy]
 //! ```
 //!
 //! `explore` fans the sweep out over a worker pool (default: one worker
@@ -18,6 +18,10 @@
 //! `--no-pool` falls back to spawning fresh rank threads per schedule
 //! (identical verdicts, for A/B comparison and benchmarking).
 //!
+//! `--shape` selects a kill-shape family from the DESIGN.md §8.8
+//! taxonomy (`pair`, `triple`, `root-chain`, `cascade`, `validate`,
+//! `spaced`); `--shape all` sweeps every shape in turn (explore only).
+//!
 //! Exit status is non-zero when an oracle violation (explore/replay),
 //! an unshrinkable failure (shrink), or a log divergence (determinism)
 //! is found, so the commands compose directly into CI.
@@ -25,7 +29,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dst::{check_all, run_seed, shrink, sweep, ScenarioCfg, SweepCfg};
+use dst::{check_all, run_seed, shrink, sweep, KillShape, ScenarioCfg, SweepCfg};
+
+/// Largest world size the CLI accepts: every rank is a live executor
+/// thread, so values beyond this are typos, not experiments.
+const MAX_RANKS: u64 = 256;
+/// Worker-thread cap; sweeps beyond per-core parallelism only add
+/// contention.
+const MAX_JOBS: u64 = 1024;
+/// Retained-failure cap; the map is O(max-failures) memory.
+const MAX_MAX_FAILURES: u64 = 1_000_000;
 
 fn parse_u64(s: &str) -> Result<u64, String> {
     let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -33,6 +46,28 @@ fn parse_u64(s: &str) -> Result<u64, String> {
         None => s.parse(),
     };
     r.map_err(|_| format!("not a number: {s}"))
+}
+
+/// Parse `flag`'s value as a `usize` with an explicit upper bound.
+///
+/// The former `parse_u64(..)? as usize` silently truncated on 32-bit
+/// targets (`--ranks 0x1_0000_0004` became 4); a checked conversion
+/// plus a sanity cap turns both the wrap and the absurd-but-
+/// representable value into usage errors.
+fn parse_capped_usize(s: &str, flag: &str, cap: u64) -> Result<usize, String> {
+    let v = parse_u64(s)?;
+    if v > cap {
+        return Err(format!("{flag} {v} exceeds the supported maximum {cap}\n{}", usage()));
+    }
+    usize::try_from(v)
+        .map_err(|_| format!("{flag} {v} does not fit this platform's usize\n{}", usage()))
+}
+
+/// `--shape` argument: one concrete shape, or every shape in turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShapeArg {
+    One(KillShape),
+    All,
 }
 
 struct Args {
@@ -45,6 +80,7 @@ struct Args {
     iters: u64,
     show_log: bool,
     triage: bool,
+    shape: ShapeArg,
     /// `None`: auto (one worker per core). `Some(n)`: exactly `n`.
     jobs: Option<usize>,
     max_failures: usize,
@@ -66,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         iters: 3,
         show_log: false,
         triage: false,
+        shape: ShapeArg::One(KillShape::Pair),
         jobs: None,
         max_failures: 100,
         corpus: None,
@@ -80,11 +117,33 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = Some(parse_u64(&value("--seed")?)?),
             "--seeds" => args.seeds = parse_u64(&value("--seeds")?)?,
             "--start" => args.start = parse_u64(&value("--start")?)?,
-            "--ranks" => args.ranks = parse_u64(&value("--ranks")?)? as usize,
+            "--ranks" => {
+                args.ranks = parse_capped_usize(&value("--ranks")?, "--ranks", MAX_RANKS)?
+            }
             "--iters" => args.iters = parse_u64(&value("--iters")?)?,
-            "--jobs" => args.jobs = Some(parse_u64(&value("--jobs")?)? as usize),
+            "--jobs" => {
+                args.jobs = Some(parse_capped_usize(&value("--jobs")?, "--jobs", MAX_JOBS)?)
+            }
             "--max-failures" => {
-                args.max_failures = parse_u64(&value("--max-failures")?)? as usize
+                args.max_failures = parse_capped_usize(
+                    &value("--max-failures")?,
+                    "--max-failures",
+                    MAX_MAX_FAILURES,
+                )?
+            }
+            "--shape" => {
+                let v = value("--shape")?;
+                args.shape = if v == "all" {
+                    ShapeArg::All
+                } else {
+                    ShapeArg::One(KillShape::from_name(&v).ok_or_else(|| {
+                        format!(
+                            "unknown kill shape: {v} (expected one of {}, or all)\n{}",
+                            KillShape::ALL.map(|s| s.name()).join(", "),
+                            usage()
+                        )
+                    })?)
+                };
             }
             "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
             "--shrink-failures" => args.shrink_failures = true,
@@ -103,8 +162,36 @@ fn parse_args() -> Result<Args, String> {
 /// error beats a panic (`--ranks 0` used to divide by zero in kill
 /// derivation) or a silent no-op (`--seeds 0`, `--iters 0`).
 fn validate(args: &Args) -> Result<(), String> {
-    let scenario = cfg_of(args);
-    scenario.validate().map_err(|e| format!("{e}\n{}", usage()))?;
+    match args.shape {
+        ShapeArg::All => {
+            if args.cmd != "explore" {
+                // replay/shrink/determinism run ONE schedule; "all"
+                // would leave the actual shape unspecified.
+                return Err(format!(
+                    "--shape all only applies to explore; \
+                     pick one shape for {}\n{}",
+                    args.cmd,
+                    usage()
+                ));
+            }
+            if args.buggy {
+                return Err(format!(
+                    "--buggy only applies to the pair shape \
+                     (the injected dedup bug predates the taxonomy)\n{}",
+                    usage()
+                ));
+            }
+            cfg_of(args, KillShape::Pair).validate().map_err(|e| format!("{e}\n{}", usage()))?;
+        }
+        ShapeArg::One(shape) => {
+            cfg_of(args, shape).validate().map_err(|e| format!("{e}\n{}", usage()))?;
+        }
+    }
+    if args.show_log && args.cmd != "replay" {
+        // Every subcommand used to swallow --log silently; only replay
+        // has a decision log in hand to print.
+        return Err(format!("--log only applies to replay\n{}", usage()));
+    }
     if args.cmd == "explore" {
         if args.seeds == 0 {
             return Err(format!("--seeds must be at least 1\n{}", usage()));
@@ -140,16 +227,18 @@ fn validate(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     "usage: dst <explore|replay|shrink|determinism> \
      [--seed S] [--seeds N] [--start S] [--jobs N] [--corpus PATH] \
-     [--shrink-failures] [--max-failures N] [--no-pool] [--buggy] \
-     [--ranks N] [--iters N] [--log] [--triage]"
+     [--shrink-failures] [--max-failures N] [--no-pool] \
+     [--shape <pair|triple|root-chain|cascade|validate|spaced|all>] \
+     [--buggy] [--ranks N] [--iters N] [--log] [--triage]"
         .to_string()
 }
 
-fn cfg_of(args: &Args) -> ScenarioCfg {
+fn cfg_of(args: &Args, shape: KillShape) -> ScenarioCfg {
     ScenarioCfg {
         ranks: args.ranks,
         max_iter: args.iters,
         buggy_dedup: args.buggy,
+        shape,
         ..ScenarioCfg::default()
     }
 }
@@ -158,8 +247,20 @@ fn need_seed(args: &Args) -> Result<u64, String> {
     args.seed.ok_or_else(|| format!("--seed is required\n{}", usage()))
 }
 
+/// The single concrete shape for replay/shrink/determinism. `validate`
+/// already rejected `--shape all` for these commands.
+fn one_shape(args: &Args) -> KillShape {
+    match args.shape {
+        ShapeArg::One(s) => s,
+        ShapeArg::All => unreachable!("--shape all rejected by validate for {}", args.cmd),
+    }
+}
+
 fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
-    let cfg = cfg_of(args);
+    let shapes: Vec<KillShape> = match args.shape {
+        ShapeArg::All => KillShape::ALL.to_vec(),
+        ShapeArg::One(s) => vec![s],
+    };
     let sweep_cfg = SweepCfg {
         start: args.start,
         count: args.seeds,
@@ -168,63 +269,77 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
         shrink_failures: args.shrink_failures,
         use_pool: !args.no_pool,
     };
-    let report = sweep(&sweep_cfg, &cfg).map_err(|e| e.to_string())?;
 
-    for f in report.failures.values() {
-        println!("seed {:#x}: FAIL", f.seed);
-        for k in &f.kills {
-            println!("  schedule: {k}");
+    let mut total_failing = 0u64;
+    let mut corpus: Vec<String> = Vec::new();
+    for &shape in &shapes {
+        let cfg = cfg_of(args, shape);
+        let report = sweep(&sweep_cfg, &cfg).map_err(|e| e.to_string())?;
+
+        for f in report.failures.values() {
+            println!("seed {:#x} [shape {shape}]: FAIL", f.seed);
+            for k in &f.kills {
+                println!("  schedule: {k}");
+            }
+            for v in &f.violations {
+                println!("  violation: {v}");
+            }
+            if !f.triage.is_empty() {
+                println!("  triage: {}", f.triage);
+            }
+            if let Some(s) = &f.shrunk {
+                println!("  shrunk ({} runs): {}", s.runs, s.events.join("; "));
+            }
         }
-        for v in &f.violations {
-            println!("  violation: {v}");
+        if report.dropped_failures > 0 {
+            println!(
+                "... and {} more failing seed(s) beyond --max-failures {}",
+                report.dropped_failures,
+                args.max_failures
+            );
         }
-        if !f.triage.is_empty() {
-            println!("  triage: {}", f.triage);
-        }
-        if let Some(s) = &f.shrunk {
-            println!("  shrunk ({} runs): {}", s.runs, s.events.join("; "));
-        }
-    }
-    if report.dropped_failures > 0 {
         println!(
-            "... and {} more failing seed(s) beyond --max-failures {}",
-            report.dropped_failures,
-            args.max_failures
+            "explored {} seeds (shape {}, {} mode, {} worker{}) in {:.2?}: \
+             {} green, {} failing, {} hung — {:.0} seeds/sec",
+            report.count,
+            shape,
+            if cfg.buggy_dedup { "buggy" } else { "hardened" },
+            report.jobs,
+            if report.jobs == 1 { "" } else { "s" },
+            report.elapsed,
+            report.green,
+            report.failing,
+            report.hung,
+            report.throughput()
         );
+
+        total_failing += report.failing;
+        if args.corpus.is_some() {
+            corpus.extend(report.corpus_lines(&cfg));
+        }
     }
-    println!(
-        "explored {} seeds ({} mode, {} worker{}) in {:.2?}: \
-         {} green, {} failing, {} hung — {:.0} seeds/sec",
-        report.count,
-        if cfg.buggy_dedup { "buggy" } else { "hardened" },
-        report.jobs,
-        if report.jobs == 1 { "" } else { "s" },
-        report.elapsed,
-        report.green,
-        report.failing,
-        report.hung,
-        report.throughput()
-    );
 
     if let Some(path) = &args.corpus {
-        let written = report
-            .write_corpus(path, &cfg)
-            .map_err(|e| format!("cannot write corpus {}: {e}", path.display()))?;
-        if written {
-            println!("wrote {} failing seed(s) to {}", report.failures.len(), path.display());
-        } else {
+        if corpus.is_empty() {
             println!("no failures: corpus {} not written", path.display());
+        } else {
+            std::fs::write(path, corpus.join("\n") + "\n")
+                .map_err(|e| format!("cannot write corpus {}: {e}", path.display()))?;
+            println!("wrote {} corpus line(s) to {}", corpus.len(), path.display());
         }
     }
 
-    Ok(if report.failing == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    Ok(if total_failing == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
     let seed = need_seed(args)?;
-    let cfg = cfg_of(args);
+    let cfg = cfg_of(args, one_shape(args));
     let obs = run_seed(seed, &cfg);
-    println!("seed {seed:#x} ({} ranks, {} iters)", cfg.ranks, cfg.max_iter);
+    println!(
+        "seed {seed:#x} ({} ranks, {} iters, shape {})",
+        cfg.ranks, cfg.max_iter, cfg.shape
+    );
     for k in &obs.schedule.kills {
         println!("schedule: {k}");
     }
@@ -254,7 +369,7 @@ fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
 
 fn cmd_shrink(args: &Args) -> Result<ExitCode, String> {
     let seed = need_seed(args)?;
-    let cfg = cfg_of(args);
+    let cfg = cfg_of(args, one_shape(args));
     match shrink(seed, &cfg, None) {
         Some(s) => {
             println!(
@@ -279,7 +394,7 @@ fn cmd_shrink(args: &Args) -> Result<ExitCode, String> {
 
 fn cmd_determinism(args: &Args) -> Result<ExitCode, String> {
     let seed = need_seed(args)?;
-    let cfg = cfg_of(args);
+    let cfg = cfg_of(args, one_shape(args));
     let a = run_seed(seed, &cfg);
     let b = run_seed(seed, &cfg);
     if a.log == b.log {

@@ -99,6 +99,12 @@ impl Oracle for NonOvertaking {
 /// and a killed root takes its closure records to the grave, so under
 /// root failover the surviving union legitimately misses the dead
 /// root's iterations.
+///
+/// A rank that ends `Aborted(-1)` is accepted exactly when every other
+/// rank fail-stopped: that is the paper's Fig. 4/5 "alone in the
+/// communicator → `MPI_Abort`" answer, reachable under the triple /
+/// root-chain / cascade kill shapes that reduce a small ring to one
+/// survivor.
 pub struct RingCompletion;
 
 impl Oracle for RingCompletion {
@@ -115,10 +121,23 @@ impl Oracle for RingCompletion {
             return Err(violation(self.name(), "run hung (step budget exhausted)"));
         }
         let killed = obs.killed();
+        // Fig. 4/5: a rank that finds itself alone in the communicator
+        // calls `MPI_Abort(comm, -1)`. That is the paper's prescribed
+        // ending, not a defect — but only when the rank truly was the
+        // last one standing: every other rank actually fail-stopped
+        // (a scheduled kill that never fired leaves a live peer, and
+        // aborting with a live peer is still a violation).
+        let lone_survivor_abort = |rank: usize| {
+            obs.outcomes
+                .iter()
+                .enumerate()
+                .all(|(q, o)| q == rank || matches!(o, Outcome::Failed))
+        };
         for (rank, o) in obs.outcomes.iter().enumerate() {
             match o {
                 Outcome::Ok => {}
                 Outcome::Failed if killed.contains(&rank) => {}
+                Outcome::Aborted(-1) if lone_survivor_abort(rank) => {}
                 other => {
                     return Err(violation(
                         self.name(),
@@ -141,8 +160,10 @@ impl Oracle for RingCompletion {
                 seen.insert(*marker);
             }
         }
-        if !killed.contains(&0) {
-            // The initial root survived, so every closure record did too.
+        if !killed.contains(&0) && matches!(obs.outcomes[0], Outcome::Ok) {
+            // The initial root ran to completion, so every closure
+            // record survived too. (A rank-0 lone-survivor abort cuts
+            // the job short by design — no coverage to demand.)
             for it in 0..obs.cfg.max_iter {
                 if !seen.contains(&it) {
                     return Err(violation(self.name(), format!(

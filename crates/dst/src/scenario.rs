@@ -25,6 +25,98 @@ use crate::sched::{Scheduler, SplitMix64};
 /// decision stream for the same seed.
 const KILL_SALT: u64 = 0x6B69_6C6C_7365_7421;
 
+/// The protocol points kill derivation draws from for "ordinary" kills.
+const KILL_HOOKS: [HookKind; 3] =
+    [HookKind::Tick, HookKind::AfterSend, HookKind::AfterRecvComplete];
+
+/// Seed-derived kill-shape taxonomy (DESIGN.md §8.8).
+///
+/// A shape names a *family* of fail-stop patterns; the seed then picks
+/// the concrete victims, protocol points and occurrences from the
+/// salted kill stream. [`KillShape::Pair`] is the derivation every PR
+/// up to 6 explored (0–2 kills anywhere) and stays byte-identical —
+/// the frozen golden logs and every recorded seed depend on it. The
+/// other shapes push into the regimes the related work shows repair
+/// logic breaks in: chains of root deaths, failures *during* the
+/// termination consensus, and failures spread across laps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KillShape {
+    /// Legacy derivation: 0–2 kills, any victims, ordinary hooks.
+    Pair,
+    /// Three distinct victims (capped at `ranks - 1`), ordinary hooks,
+    /// independent occurrences. At 4 ranks this can reduce the ring to
+    /// a single survivor, exercising the paper's alone-in-the-
+    /// communicator abort.
+    Triple,
+    /// The initial root plus its immediate successor(s) — ranks
+    /// `0..len` — dying within a few hook occurrences of each other:
+    /// the takeover window under maximum pressure.
+    RootChain,
+    /// Cascading takeover: ranks `0, 1, 2, …` die in strictly
+    /// increasing protocol time, so each newly elected root dies in
+    /// turn.
+    Cascade,
+    /// At least one kill lands on a validate hook
+    /// (`BeforeValidate`/`AfterValidate`) — failures during the
+    /// `MPI_Comm_validate_all` agreement itself; a second victim may
+    /// die at an ordinary point to force repair traffic into the
+    /// consensus window.
+    Validate,
+    /// Two to three kills spaced many hook occurrences apart, so
+    /// failures land in different laps with full recovery in between.
+    Spaced,
+}
+
+impl KillShape {
+    /// Every shape, in taxonomy order (`dst explore --shape all`
+    /// sweeps these).
+    pub const ALL: [KillShape; 6] = [
+        KillShape::Pair,
+        KillShape::Triple,
+        KillShape::RootChain,
+        KillShape::Cascade,
+        KillShape::Validate,
+        KillShape::Spaced,
+    ];
+
+    /// Stable CLI / corpus name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KillShape::Pair => "pair",
+            KillShape::Triple => "triple",
+            KillShape::RootChain => "root-chain",
+            KillShape::Cascade => "cascade",
+            KillShape::Validate => "validate",
+            KillShape::Spaced => "spaced",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`KillShape::name`]).
+    pub fn from_name(s: &str) -> Option<KillShape> {
+        match s {
+            "pair" => Some(KillShape::Pair),
+            "triple" => Some(KillShape::Triple),
+            "root-chain" | "rootchain" => Some(KillShape::RootChain),
+            "cascade" => Some(KillShape::Cascade),
+            "validate" => Some(KillShape::Validate),
+            "spaced" => Some(KillShape::Spaced),
+            _ => None,
+        }
+    }
+}
+
+impl Default for KillShape {
+    fn default() -> Self {
+        KillShape::Pair
+    }
+}
+
+impl std::fmt::Display for KillShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// What the ring under test should look like.
 #[derive(Debug, Clone)]
 pub struct ScenarioCfg {
@@ -38,11 +130,21 @@ pub struct ScenarioCfg {
     pub buggy_dedup: bool,
     /// Logical-step budget before the run is declared hung.
     pub step_budget: u64,
+    /// Kill-shape family the seed-derived schedules draw from
+    /// (hardened ring only; the buggy configuration keeps its own
+    /// Fig. 8 derivation).
+    pub shape: KillShape,
 }
 
 impl Default for ScenarioCfg {
     fn default() -> Self {
-        ScenarioCfg { ranks: 4, max_iter: 3, buggy_dedup: false, step_budget: 200_000 }
+        ScenarioCfg {
+            ranks: 4,
+            max_iter: 3,
+            buggy_dedup: false,
+            step_budget: 200_000,
+            shape: KillShape::Pair,
+        }
     }
 }
 
@@ -62,6 +164,13 @@ impl ScenarioCfg {
         }
         if self.step_budget == 0 {
             return Err("step budget must be at least 1".to_string());
+        }
+        if self.buggy_dedup && self.shape != KillShape::Pair {
+            return Err(format!(
+                "kill shape {} only applies to the hardened ring (the buggy \
+                 configuration derives its own Fig. 8 schedules)",
+                self.shape
+            ));
         }
         Ok(())
     }
@@ -111,53 +220,180 @@ pub struct Schedule {
 
 impl Schedule {
     /// Derive the canonical schedule for `seed` under `cfg`: the
-    /// kill-set comes from a salted stream of the same seed, delays are
-    /// left to the scheduler's own randomness.
+    /// kill-set comes from a salted stream of the same seed shaped by
+    /// `cfg.shape`, delays are left to the scheduler's own randomness.
     pub fn from_seed(seed: u64, cfg: &ScenarioCfg) -> Self {
         let mut rng = SplitMix64::new(seed ^ KILL_SALT);
-        let mut kills = Vec::new();
-        if cfg.buggy_dedup {
-            // The Fig. 8 bug needs a victim dying after forwarding the
-            // token so the predecessor's resend duplicates it; derive
-            // 1–2 such kills among non-root ranks.
-            let n = 1 + rng.below(2);
-            let mut victims: Vec<usize> = Vec::new();
-            while victims.len() < n && victims.len() < cfg.ranks - 1 {
-                let v = 1 + rng.below(cfg.ranks - 1);
-                if !victims.contains(&v) {
-                    victims.push(v);
-                }
-            }
-            for v in victims {
-                kills.push(Kill {
-                    victim: v,
-                    hook: HookKind::AfterSend,
-                    occurrence: 1 + rng.below(cfg.max_iter as usize) as u64,
-                });
-            }
+        let kills = if cfg.buggy_dedup {
+            derive_buggy(&mut rng, cfg)
         } else {
-            // Hardened ring: 0–2 kills anywhere (root failover makes
-            // even rank 0 fair game).
-            let n = rng.below(3);
-            let hooks =
-                [HookKind::Tick, HookKind::AfterSend, HookKind::AfterRecvComplete];
-            let mut victims: Vec<usize> = Vec::new();
-            while victims.len() < n && victims.len() < cfg.ranks - 1 {
-                let v = rng.below(cfg.ranks);
-                if !victims.contains(&v) {
-                    victims.push(v);
-                }
+            match cfg.shape {
+                KillShape::Pair => derive_pair(&mut rng, cfg),
+                KillShape::Triple => derive_triple(&mut rng, cfg),
+                KillShape::RootChain => derive_root_chain(&mut rng, cfg),
+                KillShape::Cascade => derive_cascade(&mut rng, cfg),
+                KillShape::Validate => derive_validate(&mut rng, cfg),
+                KillShape::Spaced => derive_spaced(&mut rng, cfg),
             }
-            for v in victims {
-                kills.push(Kill {
-                    victim: v,
-                    hook: hooks[rng.below(hooks.len())],
-                    occurrence: 1 + rng.below(25) as u64,
-                });
-            }
-        }
+        };
         Schedule { seed, kills, delay_mask: None }
     }
+}
+
+/// The Fig. 8 bug needs a victim dying after forwarding the token so
+/// the predecessor's resend duplicates it; derive 1–2 such kills among
+/// non-root ranks.
+fn derive_buggy(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+    let n = 1 + rng.below(2);
+    let mut victims: Vec<usize> = Vec::new();
+    while victims.len() < n && victims.len() < cfg.ranks - 1 {
+        let v = 1 + rng.below(cfg.ranks - 1);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    victims
+        .into_iter()
+        .map(|v| Kill {
+            victim: v,
+            hook: HookKind::AfterSend,
+            occurrence: 1 + rng.below(cfg.max_iter as usize) as u64,
+        })
+        .collect()
+}
+
+/// Legacy hardened-ring derivation: 0–2 kills anywhere (root failover
+/// makes even rank 0 fair game). **Frozen**: the golden decision logs
+/// and every recorded seed ≤ PR 6 named schedules through this exact
+/// draw sequence.
+fn derive_pair(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+    let n = rng.below(3);
+    let mut victims: Vec<usize> = Vec::new();
+    while victims.len() < n && victims.len() < cfg.ranks - 1 {
+        let v = rng.below(cfg.ranks);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    victims
+        .into_iter()
+        .map(|v| Kill {
+            victim: v,
+            hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+            occurrence: 1 + rng.below(25) as u64,
+        })
+        .collect()
+}
+
+/// Up to `want` distinct victims drawn uniformly from `0..ranks`,
+/// never more than `ranks - 1` (at least one rank always survives the
+/// *plan* — though with every other rank dead it may legitimately end
+/// alone and abort, per Fig. 5).
+fn distinct_victims(rng: &mut SplitMix64, ranks: usize, want: usize) -> Vec<usize> {
+    let mut victims: Vec<usize> = Vec::new();
+    while victims.len() < want && victims.len() < ranks - 1 {
+        let v = rng.below(ranks);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    victims
+}
+
+/// Three distinct victims at independent ordinary protocol points.
+fn derive_triple(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+    distinct_victims(rng, cfg.ranks, 3)
+        .into_iter()
+        .map(|v| Kill {
+            victim: v,
+            hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+            occurrence: 1 + rng.below(25) as u64,
+        })
+        .collect()
+}
+
+/// The initial root and its immediate successor(s) — ranks `0..len` —
+/// dying within a few hook occurrences of one another.
+fn derive_root_chain(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+    let len = (2 + rng.below(2)).min(cfg.ranks - 1);
+    let base = 1 + rng.below(12) as u64;
+    (0..len)
+        .map(|v| Kill {
+            victim: v,
+            hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+            occurrence: base + rng.below(3) as u64,
+        })
+        .collect()
+}
+
+/// Cascading takeover: ranks `0, 1, 2, …` die at strictly increasing
+/// occurrences, so each newly elected root dies in turn.
+fn derive_cascade(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+    let max_chain = (cfg.ranks - 1).min(4);
+    let len = 2 + rng.below(max_chain.saturating_sub(1).max(1));
+    let len = len.min(max_chain);
+    let mut occurrence = 1 + rng.below(8) as u64;
+    (0..len)
+        .map(|v| {
+            let k = Kill {
+                victim: v,
+                hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+                occurrence,
+            };
+            occurrence += 1 + rng.below(6) as u64;
+            k
+        })
+        .collect()
+}
+
+/// One or two victims with at least one kill on a validate hook —
+/// failure *during* the `MPI_Comm_validate_all` agreement. A second
+/// victim (when drawn) dies either in the consensus too or at an
+/// ordinary point, pushing repair traffic into the validate window.
+fn derive_validate(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+    const VALIDATE_HOOKS: [HookKind; 2] =
+        [HookKind::BeforeValidate, HookKind::AfterValidate];
+    let n = 1 + rng.below(2);
+    distinct_victims(rng, cfg.ranks, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if i == 0 || rng.below(2) == 0 {
+                Kill {
+                    victim: v,
+                    hook: VALIDATE_HOOKS[rng.below(VALIDATE_HOOKS.len())],
+                    occurrence: 1 + rng.below(2) as u64,
+                }
+            } else {
+                Kill {
+                    victim: v,
+                    hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+                    occurrence: 1 + rng.below(25) as u64,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Two to three kills spaced 15–34 hook occurrences apart: failures in
+/// different laps, full recovery (detector fire, resend, possible
+/// takeover) completing between them.
+fn derive_spaced(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+    let n = 2 + rng.below(2);
+    let victims = distinct_victims(rng, cfg.ranks, n);
+    let mut occurrence = 1 + rng.below(10) as u64;
+    victims
+        .into_iter()
+        .map(|v| {
+            let k = Kill {
+                victim: v,
+                hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+                occurrence,
+            };
+            occurrence += 15 + rng.below(20) as u64;
+            k
+        })
+        .collect()
 }
 
 /// Simplified per-rank outcome (type-erased for the oracles).
@@ -391,6 +627,148 @@ mod tests {
                 assert!(k.occurrence >= 1);
             }
         }
+    }
+
+    /// Every shape derives deterministically, keeps victims in range
+    /// and distinct, and never names more than `ranks - 1` victims.
+    #[test]
+    fn every_shape_derives_deterministically_and_in_range() {
+        for ranks in [2usize, 4, 8] {
+            for shape in KillShape::ALL {
+                let cfg = ScenarioCfg { ranks, shape, ..ScenarioCfg::default() };
+                for seed in 0..200 {
+                    let a = Schedule::from_seed(seed, &cfg);
+                    let b = Schedule::from_seed(seed, &cfg);
+                    assert_eq!(a.kills, b.kills, "{shape} seed {seed} not deterministic");
+                    assert!(
+                        a.kills.len() <= ranks - 1,
+                        "{shape} seed {seed} kills every rank: {:?}",
+                        a.kills
+                    );
+                    let mut victims: Vec<usize> =
+                        a.kills.iter().map(|k| k.victim).collect();
+                    victims.sort_unstable();
+                    let before = victims.len();
+                    victims.dedup();
+                    assert_eq!(before, victims.len(), "{shape} seed {seed} repeats a victim");
+                    for k in &a.kills {
+                        assert!(k.victim < ranks, "{shape} seed {seed} out-of-range victim");
+                        assert!(k.occurrence >= 1, "{shape} seed {seed} zero occurrence");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Each shape's structural signature is reachable from the seed
+    /// stream: the schedules a shape promises actually occur.
+    #[test]
+    fn every_shape_signature_is_reachable() {
+        let seeds = 0..300u64;
+        let cfg_for = |shape| ScenarioCfg { shape, ..ScenarioCfg::default() };
+
+        // Triple: three victims at 4 ranks (the cap allows it).
+        assert!(
+            seeds.clone().any(|s| {
+                Schedule::from_seed(s, &cfg_for(KillShape::Triple)).kills.len() == 3
+            }),
+            "no triple-kill schedule in the window"
+        );
+
+        // RootChain: victims are exactly 0..len with occurrences within
+        // a 3-wide window, for every seed.
+        for s in seeds.clone() {
+            let kills = Schedule::from_seed(s, &cfg_for(KillShape::RootChain)).kills;
+            assert!(kills.len() >= 2);
+            for (i, k) in kills.iter().enumerate() {
+                assert_eq!(k.victim, i, "root-chain victims must be 0..len");
+            }
+            let lo = kills.iter().map(|k| k.occurrence).min().unwrap();
+            let hi = kills.iter().map(|k| k.occurrence).max().unwrap();
+            assert!(hi - lo <= 2, "root-chain kills not in close succession");
+        }
+
+        // Cascade: victims 0..len, occurrences strictly increasing.
+        let mut saw_len_3 = false;
+        for s in seeds.clone() {
+            let kills = Schedule::from_seed(s, &cfg_for(KillShape::Cascade)).kills;
+            assert!(kills.len() >= 2);
+            saw_len_3 |= kills.len() == 3;
+            for (i, k) in kills.iter().enumerate() {
+                assert_eq!(k.victim, i, "cascade victims must be 0..len");
+            }
+            for w in kills.windows(2) {
+                assert!(
+                    w[1].occurrence > w[0].occurrence,
+                    "cascade occurrences must strictly increase"
+                );
+            }
+        }
+        assert!(saw_len_3, "no length-3 cascade in the window");
+
+        // Validate: the first kill is always on a validate hook.
+        for s in seeds.clone() {
+            let kills = Schedule::from_seed(s, &cfg_for(KillShape::Validate)).kills;
+            assert!(!kills.is_empty());
+            assert!(
+                matches!(kills[0].hook, HookKind::BeforeValidate | HookKind::AfterValidate),
+                "validate shape must kill inside the agreement"
+            );
+        }
+
+        // Spaced: consecutive kills at least 15 occurrences apart.
+        for s in seeds {
+            let kills = Schedule::from_seed(s, &cfg_for(KillShape::Spaced)).kills;
+            assert!(kills.len() >= 2);
+            for w in kills.windows(2) {
+                assert!(
+                    w[1].occurrence >= w[0].occurrence + 15,
+                    "spaced kills must be widely separated"
+                );
+            }
+        }
+    }
+
+    /// The Pair derivation is frozen: adding the taxonomy must not
+    /// move a single legacy schedule (golden logs + every recorded
+    /// seed depend on this). Pinned against schedules recorded before
+    /// the `KillShape` refactor.
+    #[test]
+    fn pair_derivation_is_frozen() {
+        let cfg = ScenarioCfg::default();
+        // Seed 0x7f3's pre-taxonomy schedule (double_kill_seeds.rs).
+        let s = Schedule::from_seed(0x7f3, &cfg);
+        assert_eq!(
+            s.kills,
+            vec![
+                Kill { victim: 0, hook: HookKind::Tick, occurrence: 7 },
+                Kill { victim: 1, hook: HookKind::AfterRecvComplete, occurrence: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn shape_names_round_trip() {
+        for shape in KillShape::ALL {
+            assert_eq!(KillShape::from_name(shape.name()), Some(shape));
+        }
+        assert_eq!(KillShape::from_name("all"), None);
+        assert_eq!(KillShape::from_name("bogus"), None);
+        assert_eq!(KillShape::from_name("rootchain"), Some(KillShape::RootChain));
+    }
+
+    /// `--shape` is a hardened-ring concept; the buggy configuration
+    /// rejects any other shape at validation.
+    #[test]
+    fn buggy_rejects_non_pair_shapes() {
+        let cfg = ScenarioCfg {
+            buggy_dedup: true,
+            shape: KillShape::Cascade,
+            ..ScenarioCfg::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = ScenarioCfg { buggy_dedup: true, ..ScenarioCfg::default() };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

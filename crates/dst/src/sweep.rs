@@ -170,6 +170,22 @@ impl SweepReport {
         if secs > 0.0 { self.count as f64 / secs } else { f64::INFINITY }
     }
 
+    /// Render the retained failures as one-line repros (plus a counted
+    /// overflow marker), ready for corpus writing or aggregation
+    /// across shapes.
+    pub fn corpus_lines(&self, scenario: &ScenarioCfg) -> Vec<String> {
+        let mut lines: Vec<String> =
+            self.failures.values().map(|f| corpus_line(f, scenario)).collect();
+        if self.dropped_failures > 0 {
+            lines.push(format!(
+                "# +{} more failing seed(s) beyond --max-failures {}",
+                self.dropped_failures,
+                self.failures.len()
+            ));
+        }
+        lines
+    }
+
     /// Write the failing seeds as a corpus of one-line repros. Returns
     /// `Ok(false)` without touching the filesystem when there are no
     /// failures, so CI can upload the file exactly when it exists.
@@ -178,26 +194,23 @@ impl SweepReport {
             return Ok(false);
         }
         let mut f = std::fs::File::create(path)?;
-        for fail in self.failures.values() {
-            writeln!(f, "{}", corpus_line(fail, scenario))?;
-        }
-        if self.dropped_failures > 0 {
-            writeln!(
-                f,
-                "# +{} more failing seed(s) beyond --max-failures {}",
-                self.dropped_failures,
-                self.failures.len()
-            )?;
+        for line in self.corpus_lines(scenario) {
+            writeln!(f, "{line}")?;
         }
         f.flush()?;
         Ok(true)
     }
 }
 
-/// One line per failure: seed, verdict, schedule, and a paste-able
-/// repro command.
+///// One line per failure: seed, verdict, schedule, and a paste-able
+/// repro command. Non-default kill shapes are carried both as a field
+/// (`shape=…`) and inside the repro command, so a corpus line from a
+/// `--shape all` sweep replays the exact same schedule family.
 fn corpus_line(fail: &FailureSummary, scenario: &ScenarioCfg) -> String {
     let mut line = format!("seed={:#x} oracles={}", fail.seed, fail.oracles.join(","));
+    if scenario.shape != crate::scenario::KillShape::Pair {
+        line.push_str(&format!(" shape={}", scenario.shape));
+    }
     if fail.hung {
         line.push_str(" hung");
     }
@@ -211,10 +224,15 @@ fn corpus_line(fail: &FailureSummary, scenario: &ScenarioCfg) -> String {
         line.push_str(&format!(" triage=[{}]", fail.triage));
     }
     line.push_str(&format!(
-        " repro=\"dst replay --seed {:#x} --ranks {} --iters {}{}\"",
+        " repro=\"dst replay --seed {:#x} --ranks {} --iters {}{}{}\"",
         fail.seed,
         scenario.ranks,
         scenario.max_iter,
+        if scenario.shape != crate::scenario::KillShape::Pair {
+            format!(" --shape {}", scenario.shape)
+        } else {
+            String::new()
+        },
         if scenario.buggy_dedup { " --buggy" } else { "" }
     ));
     line

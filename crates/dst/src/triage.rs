@@ -134,7 +134,10 @@ fn render_edge(e: &WaitEdge) -> String {
 impl std::fmt::Display for TriageReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_empty() {
-            return writeln!(f, "wait-for graph: empty (no rank parked at abort)");
+            return writeln!(
+                f,
+                "wait-for graph: empty — no pending operations (no rank parked at abort)"
+            );
         }
         writeln!(f, "wait-for graph at watchdog abort:")?;
         if !self.killed.is_empty() {

@@ -22,7 +22,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use dst::{run_seed, ScenarioCfg, SeedRunner};
+use dst::{run_seed, KillShape, ScenarioCfg, SeedRunner};
 
 /// Pinned seed set. Small enough to run in CI on every push, wide
 /// enough to exercise kills (0–2 per seed), delays, any-source picks
@@ -44,6 +44,25 @@ fn all_seeds() -> impl Iterator<Item = u64> {
     SEEDS.chain(EXTENDED_SEEDS)
 }
 
+/// Kill-shape taxonomy pins (DESIGN.md §8.8), appended after the pair
+/// sections so the extension stays append-only. Four low seeds per
+/// non-pair shape exercise each derivation, plus the seeds whose
+/// fixes the taxonomy sweeps produced: the mid-forward takeover
+/// double-count (root-chain `0x1d1`), the dual-slot consumption
+/// reorder (cascade `0xf5a`), and the zero-hop takeover closure
+/// (triple `0x18576`, which fails at 8 ranks only but pins both).
+fn shape_seeds() -> impl Iterator<Item = (KillShape, u64)> {
+    let per_shape = KillShape::ALL
+        .into_iter()
+        .filter(|s| *s != KillShape::Pair)
+        .flat_map(|s| (0..4u64).map(move |seed| (s, seed)));
+    per_shape.chain([
+        (KillShape::RootChain, 0x1d1),
+        (KillShape::Cascade, 0xf5a),
+        (KillShape::Triple, 0x18576),
+    ])
+}
+
 fn golden_path(ranks: usize) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
@@ -56,6 +75,12 @@ fn render(ranks: usize) -> String {
     for seed in all_seeds() {
         let obs = run_seed(seed, &cfg);
         writeln!(out, "=== seed {seed:#x} ranks {ranks} ===").unwrap();
+        out.push_str(&obs.log);
+    }
+    for (shape, seed) in shape_seeds() {
+        let cfg = ScenarioCfg { ranks, shape, ..ScenarioCfg::default() };
+        let obs = run_seed(seed, &cfg);
+        writeln!(out, "=== seed {seed:#x} ranks {ranks} shape {shape} ===").unwrap();
         out.push_str(&obs.log);
     }
     out
@@ -73,6 +98,12 @@ fn render_pooled(ranks: usize) -> String {
     for seed in all_seeds() {
         let obs = runner.run_seed(seed, &cfg);
         writeln!(out, "=== seed {seed:#x} ranks {ranks} ===").unwrap();
+        out.push_str(&obs.log);
+    }
+    for (shape, seed) in shape_seeds() {
+        let cfg = ScenarioCfg { ranks, shape, ..ScenarioCfg::default() };
+        let obs = runner.run_seed(seed, &cfg);
+        writeln!(out, "=== seed {seed:#x} ranks {ranks} shape {shape} ===").unwrap();
         out.push_str(&obs.log);
     }
     out

@@ -11,7 +11,7 @@
 //! cascade of 0x1882 (DESIGN.md §8.7). Failures shrink and persist to
 //! `ring_properties.proptest-regressions` next to this file.
 
-use dst::{check_all, run_schedule, triage, Kill, ScenarioCfg, Schedule};
+use dst::{check_all, run_schedule, run_seed, triage, Kill, KillShape, ScenarioCfg, Schedule};
 use faultsim::HookKind;
 use proptest::prelude::*;
 
@@ -60,6 +60,68 @@ proptest! {
         prop_assert!(
             violations.is_empty(),
             "oracle violations under {kills:?} (seed {seed:#x}, {ranks} ranks): {violations:?}"
+        );
+    }
+
+    /// Every taxonomy shape (DESIGN.md §8.8), arbitrary seeds, 4–8
+    /// ranks: the seed-derived schedule for the shape must leave all
+    /// applicable oracles green. This is the property form of
+    /// `dst explore --shape all`, biased toward fresh seeds every run.
+    #[test]
+    fn every_kill_shape_stays_green(
+        seed in 0u64..0x1_0000_0000,
+        shape_ix in 0usize..KillShape::ALL.len(),
+        ranks in 4usize..9,
+    ) {
+        let shape = KillShape::ALL[shape_ix];
+        let cfg = ScenarioCfg { ranks, shape, ..ScenarioCfg::default() };
+        let obs = run_seed(seed, &cfg);
+        prop_assert!(
+            !obs.hung,
+            "shape {shape} hung (seed {seed:#x}, {ranks} ranks, kills {:?}): {}",
+            obs.schedule.kills,
+            triage(&obs).one_line()
+        );
+        let violations = check_all(&obs);
+        prop_assert!(
+            violations.is_empty(),
+            "shape {shape} violations (seed {seed:#x}, {ranks} ranks, kills {:?}): {violations:?}",
+            obs.schedule.kills
+        );
+    }
+
+    /// Cascading takeovers, explicitly: a strictly-increasing chain of
+    /// kills starting at rank 0 so each newly-elected root dies in
+    /// turn. The remaining ranks must still finish (or, when only one
+    /// remains, abort per Figs. 4/5) with every oracle green.
+    #[test]
+    fn explicit_takeover_cascades_stay_green(
+        seed in 0u64..0x1_0000_0000,
+        ranks in 4usize..9,
+        chain in 2usize..5,
+        start in 1u64..8,
+        gaps in proptest::collection::vec(1u64..6, 4..5),
+        hooks in proptest::collection::vec(0usize..3, 4..5),
+    ) {
+        let chain = chain.min(ranks - 1);
+        let mut occurrence = start;
+        let mut kills = Vec::with_capacity(chain);
+        for victim in 0..chain {
+            kills.push(Kill { victim, hook: HOOKS[hooks[victim % hooks.len()]], occurrence });
+            occurrence += gaps[victim % gaps.len()];
+        }
+        let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+        let schedule = Schedule { seed, kills: kills.clone(), delay_mask: None };
+        let obs = run_schedule(&schedule, &cfg);
+        prop_assert!(
+            !obs.hung,
+            "cascade hung under {kills:?} (seed {seed:#x}, {ranks} ranks): {}",
+            triage(&obs).one_line()
+        );
+        let violations = check_all(&obs);
+        prop_assert!(
+            violations.is_empty(),
+            "cascade violations under {kills:?} (seed {seed:#x}, {ranks} ranks): {violations:?}"
         );
     }
 }
