@@ -181,6 +181,7 @@ fn main() {
                         max_failures: 100,
                         shrink_failures: false,
                         use_pool,
+                        threads_budget: 0,
                     };
                     let report = sweep(&sweep_cfg, &cfg).expect("valid sweep");
                     assert_eq!(report.failing, 0, "hardened corpus must stay green");
@@ -202,6 +203,11 @@ fn main() {
     json.push_str("  \"bench\": \"schedules_per_sec\",\n");
     json.push_str("  \"unit\": \"schedules/sec\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
+    // The seed windows the series wrap inside. Rates are only
+    // comparable across runs measured on the same window: widening it
+    // changes the workload mix (see EXPERIMENTS.md, explore/8 triage),
+    // so the window is part of the record, not ambient configuration.
+    json.push_str(&format!("  \"seed_window\": {{ \"explore\": {SEED_SPACE}, \"shape\": {SHAPE_SEED_SPACE} }},\n"));
     json.push_str("  \"results\": {\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(

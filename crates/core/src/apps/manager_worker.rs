@@ -275,12 +275,17 @@ mod tests {
     #[test]
     fn worker_death_mid_task_requeues_and_completes() {
         // Worker 2 dies right after receiving its 2nd task (the task is
-        // lost with it and must be re-queued).
+        // lost with it and must be re-queued). Enough tasks that the
+        // kill is certain to fire: on an over-contended runner a small
+        // queue can drain through the other workers before worker 2 is
+        // ever scheduled for its 2nd receive, leaving it alive and the
+        // assertions spuriously red (same reasoning as the respawn
+        // test's 4000-task queue).
         let plan = FaultPlan::none().with(FaultRule::kill(
             2,
             Trigger::on(HookKind::AfterRecvComplete).tag(TASK_TAG).nth(2),
         ));
-        let t = tasks(15);
+        let t = tasks(400);
         let (m, _) = farm_manager_result(4, plan, t.clone());
         assert_eq!(m.results, expected_results(&t), "all tasks exactly once");
         assert!(m.workers_lost.contains(&2));

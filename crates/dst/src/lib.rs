@@ -35,7 +35,8 @@ pub use scenario::{
     run_schedule, run_schedule_with, run_seed, run_seed_quiet, Kill, KillShape, Observation,
     Retention, ScenarioCfg, Schedule, SeedRunner,
 };
-pub use sched::{SchedEvent, Scheduler, SplitMix64};
+pub use faultsim::HandoffStats;
+pub use sched::{SchedEvent, SchedTuning, Scheduler, SplitMix64};
 pub use shrink::{shrink, Ev, Shrunk};
 pub use sweep::{sweep, FailureSummary, SweepCfg, SweepError, SweepReport};
 pub use triage::{triage, triage_trace, TriageReport, WaitEdge, WaitKind};

@@ -3,6 +3,7 @@
 //! ```text
 //! dst explore --seeds 1000 [--start 0] [--jobs N] [--corpus PATH]
 //!             [--shrink-failures] [--max-failures N] [--no-pool]
+//!             [--stats] [--threads-budget N]
 //!             [--shape <name|all>] [--buggy] [--ranks 4] [--iters 3]
 //! dst replay  --seed 0xBEEF [--shape NAME] [--buggy] [--log] [--triage]
 //! dst shrink  --seed 0xBEEF [--shape NAME] [--buggy]
@@ -17,6 +18,11 @@
 //! Each worker runs its seeds on a persistent rank-executor pool;
 //! `--no-pool` falls back to spawning fresh rank threads per schedule
 //! (identical verdicts, for A/B comparison and benchmarking).
+//!
+//! `--stats` appends the scheduler's handoff counters (steps, grants,
+//! elided handoffs, parks, spin iterations) to the explore summary;
+//! `--threads-budget N` overrides the auto-sized rank-thread budget
+//! (`max(12 × cores, 48)`) that `workers × ranks` is kept under.
 //!
 //! `--shape` selects a kill-shape family from the DESIGN.md §8.8
 //! taxonomy (`pair`, `triple`, `root-chain`, `cascade`, `validate`,
@@ -39,6 +45,9 @@ const MAX_RANKS: u64 = 256;
 const MAX_JOBS: u64 = 1024;
 /// Retained-failure cap; the map is O(max-failures) memory.
 const MAX_MAX_FAILURES: u64 = 1_000_000;
+/// Rank-thread-budget cap; the budget bounds `workers × ranks`, so
+/// anything beyond this is a typo, not a bigger machine.
+const MAX_THREADS_BUDGET: u64 = 65_536;
 
 fn parse_u64(s: &str) -> Result<u64, String> {
     let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -87,6 +96,9 @@ struct Args {
     corpus: Option<PathBuf>,
     shrink_failures: bool,
     no_pool: bool,
+    stats: bool,
+    /// `None`: auto (`max(12 × cores, 48)` rank threads).
+    threads_budget: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -108,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
         corpus: None,
         shrink_failures: false,
         no_pool: false,
+        stats: false,
+        threads_budget: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -148,6 +162,14 @@ fn parse_args() -> Result<Args, String> {
             "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
             "--shrink-failures" => args.shrink_failures = true,
             "--no-pool" => args.no_pool = true,
+            "--stats" => args.stats = true,
+            "--threads-budget" => {
+                args.threads_budget = Some(parse_capped_usize(
+                    &value("--threads-budget")?,
+                    "--threads-budget",
+                    MAX_THREADS_BUDGET,
+                )?)
+            }
             "--buggy" => args.buggy = true,
             "--log" => args.show_log = true,
             "--triage" => args.triage = true,
@@ -210,10 +232,20 @@ fn validate(args: &Args) -> Result<(), String> {
         if args.max_failures == 0 {
             return Err(format!("--max-failures must be at least 1\n{}", usage()));
         }
+        if args.threads_budget == Some(0) {
+            return Err(format!("--threads-budget must be at least 1\n{}", usage()));
+        }
     } else if args.no_pool {
         // replay/shrink/determinism always run spawn-per-run; accepting
         // the flag there would imply it changes something.
         return Err(format!("--no-pool only applies to explore\n{}", usage()));
+    } else if args.stats {
+        // Only the sweep engine aggregates handoff counters.
+        return Err(format!("--stats only applies to explore\n{}", usage()));
+    } else if args.threads_budget.is_some() {
+        // replay/shrink/determinism run one universe; there is no
+        // worker fan-out for the budget to size.
+        return Err(format!("--threads-budget only applies to explore\n{}", usage()));
     }
     if args.triage && args.cmd != "replay" {
         // Explore prints triage on its failure lines unconditionally;
@@ -228,6 +260,7 @@ fn usage() -> String {
     "usage: dst <explore|replay|shrink|determinism> \
      [--seed S] [--seeds N] [--start S] [--jobs N] [--corpus PATH] \
      [--shrink-failures] [--max-failures N] [--no-pool] \
+     [--stats] [--threads-budget N] \
      [--shape <pair|triple|root-chain|cascade|validate|spaced|all>] \
      [--buggy] [--ranks N] [--iters N] [--log] [--triage]"
         .to_string()
@@ -268,6 +301,7 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
         max_failures: args.max_failures,
         shrink_failures: args.shrink_failures,
         use_pool: !args.no_pool,
+        threads_budget: args.threads_budget.unwrap_or(0),
     };
 
     let mut total_failing = 0u64;
@@ -312,6 +346,24 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
             report.hung,
             report.throughput()
         );
+        if args.stats {
+            let h = &report.handoff;
+            println!(
+                "stats [shape {shape}]: {} steps, {} grants \
+                 ({} elided: {} self, {} spin; {} pre-park), \
+                 {} parks, {} unparks, {} spin iters, {} park-safety timeouts",
+                h.steps,
+                h.grants,
+                h.elided(),
+                h.self_grants,
+                h.spin_grants,
+                h.prepark_grants,
+                h.parks,
+                h.unparks,
+                h.spin_iters,
+                h.park_safety_timeouts
+            );
+        }
 
         total_failing += report.failing;
         if args.corpus.is_some() {

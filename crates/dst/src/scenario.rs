@@ -19,7 +19,7 @@ use faultsim::{FaultPlan, HookKind};
 use ftmpi::{run, RankOutcome, TimedEvent, UniverseConfig, UniversePool, WORLD};
 use ftring::{run_ring, RingConfig, RingStats};
 
-use crate::sched::{Scheduler, SplitMix64};
+use crate::sched::{SchedTuning, Scheduler, SplitMix64};
 
 /// Stream salt so kill derivation never collides with the scheduler's
 /// decision stream for the same seed.
@@ -134,6 +134,12 @@ pub struct ScenarioCfg {
     /// (hardened ring only; the buggy configuration keeps its own
     /// Fig. 8 derivation).
     pub shape: KillShape,
+    /// Scheduler handoff tuning (self-grant fast path, spin budget).
+    /// Schedule-invisible: any tuning executes the identical decision
+    /// sequence; only the park/wake mechanics differ. The sweep engine
+    /// overrides the spin policy when its worker count saturates the
+    /// machine.
+    pub tuning: SchedTuning,
 }
 
 impl Default for ScenarioCfg {
@@ -144,6 +150,7 @@ impl Default for ScenarioCfg {
             buggy_dedup: false,
             step_budget: 200_000,
             shape: KillShape::Pair,
+            tuning: SchedTuning::default(),
         }
     }
 }
@@ -433,6 +440,9 @@ pub struct Observation {
     pub log: String,
     /// Drain calls that delayed delivery during this run.
     pub delay_calls: Vec<u64>,
+    /// Handoff-path performance counters for this run (grants, elided
+    /// handoffs, parks, spins — see [`faultsim::HandoffStats`]).
+    pub handoff: faultsim::HandoffStats,
 }
 
 impl Observation {
@@ -538,15 +548,12 @@ fn execute(
     let sched = match (&schedule.delay_mask, retention) {
         (Some(mask), _) => {
             // Masked replay exists to be inspected; always record.
-            Arc::new(Scheduler::with_delay_mask(cfg.ranks, schedule.seed, cfg.step_budget, mask))
+            Scheduler::with_delay_mask(cfg.ranks, schedule.seed, cfg.step_budget, mask)
         }
-        (None, Retention::Full) => {
-            Arc::new(Scheduler::new(cfg.ranks, schedule.seed, cfg.step_budget))
-        }
-        (None, Retention::Quiet) => {
-            Arc::new(Scheduler::quiet(cfg.ranks, schedule.seed, cfg.step_budget))
-        }
+        (None, Retention::Full) => Scheduler::new(cfg.ranks, schedule.seed, cfg.step_budget),
+        (None, Retention::Quiet) => Scheduler::quiet(cfg.ranks, schedule.seed, cfg.step_budget),
     };
+    let sched = Arc::new(sched.tuned(cfg.tuning));
     let plan = schedule
         .kills
         .iter()
@@ -596,6 +603,7 @@ fn execute(
         trace: report.trace,
         log: sched.log_text(),
         delay_calls: sched.delay_calls(),
+        handoff: report.handoff,
     }
 }
 

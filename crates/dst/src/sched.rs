@@ -11,19 +11,34 @@
 //! complete schedule, reproducible forever, and the decision log it
 //! leaves behind is byte-identical across runs.
 //!
-//! ### Dispatch protocol (direct handoff)
+//! ### Dispatch protocol (self-grant fast path + spin-then-park)
 //!
 //! * `n` ranks start registered; a rank leaves on
 //!   [`SchedHook::on_exit`].
-//! * A rank arriving at a step point parks in `waiting` — on its **own**
-//!   condition variable. When *every* registered rank is parked (nobody
-//!   is running), the scheduler picks one at random, logs `grant`, and
-//!   wakes **exactly that rank** (`notify_one` on its slot). The old
-//!   protocol notified a single shared condvar with `notify_all`, waking
-//!   all N parked ranks per grant so that N−1 could immediately re-park:
-//!   an O(ranks) syscall storm per logical step. Direct handoff makes a
-//!   grant O(1) wakeups; only budget exhaustion (run teardown) still
-//!   wakes everyone.
+//! * A rank arriving at a step point parks in `waiting`. When *every*
+//!   registered rank is parked (nobody is running), the scheduler picks
+//!   one at random and logs `grant`.
+//! * **Self-grant fast path**: the stepping rank runs `try_dispatch`
+//!   itself, while it still holds the lock and is still on-CPU. If the
+//!   PRNG draws *that same rank* — always, when it is the sole waiter,
+//!   which is the common case for the paper's one-token-in-flight ring
+//!   — the grant is returned inline from `step` and the park/wake
+//!   context-switch pair is elided entirely. The PRNG stream and the
+//!   logged decision are unchanged; only the handoff is skipped.
+//! * Otherwise the handoff goes through a per-rank slot: a word-sized
+//!   state machine (`ARMED → PARKED → GRANTED`, or `ABORT`) plus
+//!   `thread::park`/`Thread::unpark`. The granter flips the slot to
+//!   `GRANTED` with one atomic swap and unparks the waiter only if it
+//!   had already parked; the waiter optionally *spins* a bounded number
+//!   of iterations before parking so a grant that arrives within the
+//!   spin window is consumed without sleeping. Spinning auto-disables
+//!   when the machine has no spare cores for it (see [`SchedTuning`]).
+//!   Compared to the previous per-rank condition variables this removes
+//!   the futex-wait + mutex-reacquisition cost from every handoff
+//!   (measured ~2.5 µs per condvar round trip vs ~1 µs for a raw
+//!   park/unpark pair on the reference box, DESIGN.md §8.9).
+//! * All elisions are counted ([`SchedHook::handoff_stats`]) and
+//!   surfaced per run through `RunReport` and `dst explore --stats`.
 //! * The number of grants is the **logical clock**. When it exceeds the
 //!   step budget the run is aborted — the deterministic replacement for
 //!   a wall-clock hang watchdog: a distributed hang is just a schedule
@@ -66,9 +81,11 @@
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
 
-use faultsim::{ChoiceKind, Rank, SchedHook, SchedPoint, StepOutcome};
+use faultsim::{ChoiceKind, HandoffStats, Rank, SchedHook, SchedPoint, StepOutcome};
 
 /// Deterministic splitmix64 stream.
 #[derive(Debug, Clone)]
@@ -159,6 +176,71 @@ impl std::fmt::Display for SchedEvent {
 /// Out of 16: how often a drain call delays in exploration mode.
 const DELAY_WEIGHT: u64 = 4;
 
+/// Spin iterations a waiter burns before parking, when spinning is
+/// enabled at all. Sized so the spin window (~a few hundred ns of
+/// `spin_loop` hints) covers a granter that is already running on
+/// another core, without approaching the ~1 µs cost of the park it
+/// replaces.
+const DEFAULT_SPIN: u32 = 100;
+
+/// Handoff-path tuning knobs. The defaults enable every elision that
+/// is sound on the current machine; the explicit setters exist for A/B
+/// measurement and for the counter tests (elided counters must be
+/// structurally zero when the fast paths are off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedTuning {
+    /// Grant inline when the PRNG draws the stepping rank (no park, no
+    /// wake). Schedule-invisible: only the handoff is elided.
+    pub self_grant: bool,
+    /// Spin budget before parking. `None` = auto: spin
+    /// [`DEFAULT_SPIN`] iterations iff the machine has more cores than
+    /// rank threads (a waiter burning a core another runnable thread
+    /// needs makes everything slower); `Some(0)` = never spin;
+    /// `Some(k)` = always spin up to `k` iterations.
+    pub spin: Option<u32>,
+}
+
+impl Default for SchedTuning {
+    fn default() -> Self {
+        SchedTuning { self_grant: true, spin: None }
+    }
+}
+
+impl SchedTuning {
+    /// Tuning with every handoff elision disabled — the PR-3 behaviour
+    /// (park/wake on every grant), for A/B runs and counter tests.
+    pub fn disabled() -> Self {
+        SchedTuning { self_grant: false, spin: Some(0) }
+    }
+}
+
+/// Resolve the auto spin policy for `n` rank threads.
+fn auto_spin(n: usize) -> u32 {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    if cores > n {
+        DEFAULT_SPIN
+    } else {
+        0
+    }
+}
+
+// Per-rank handoff slot states. A slot belongs to exactly one waiter
+// (its rank) and is written by granters only via the `GRANTED`/`ABORT`
+// swaps below.
+/// Waiter is awake (running, or about to check the slot).
+const ARMED: u32 = 0;
+/// Waiter has committed to `thread::park` (granter must unpark).
+const PARKED: u32 = 1;
+/// Grant delivered; waiter consumes it and re-arms.
+const GRANTED: u32 = 2;
+/// Budget exhausted; waiter must abort. Terminal for the run.
+const ABORT: u32 = 3;
+
+/// One per-rank handoff slot: the word the grant travels through.
+struct HandoffSlot {
+    state: AtomicU32,
+}
+
 struct Inner {
     /// Ranks whose threads are still inside the universe. A count
     /// suffices: `waiting ⊆ registered` (an exited rank never steps
@@ -194,16 +276,36 @@ struct Inner {
     delays: Vec<u64>,
     /// Shrink mode: exactly these drain calls may delay.
     delay_mask: Option<BTreeSet<u64>>,
+    /// Thread handle per rank, registered at the rank's first `step`
+    /// (under this mutex, before the rank can ever be granted), so a
+    /// granter can unpark it. `None` until the rank first steps.
+    threads: Vec<Option<Thread>>,
+    /// Grants actually issued (excludes the budget-exhausting draw).
+    grants: u64,
+    /// Grants returned inline to the stepping rank (fast path).
+    self_grants: u64,
+    /// `Thread::unpark` wakeups issued by granters.
+    unparks: u64,
 }
 
 /// The serializing scheduler. Construct, wrap in an `Arc`, and pass to
 /// [`ftmpi::UniverseConfig::sim`].
 pub struct Scheduler {
     inner: Mutex<Inner>,
-    /// One parking slot per rank: a grant wakes exactly the granted
-    /// rank. Every slot waits on the same `inner` mutex.
-    slots: Vec<Condvar>,
+    /// One handoff slot per rank: a grant travels to exactly the
+    /// granted rank through its slot word.
+    slots: Vec<HandoffSlot>,
     budget: u64,
+    /// [`SchedTuning::self_grant`], resolved.
+    self_grant: bool,
+    /// [`SchedTuning::spin`], resolved against the core count.
+    spin_limit: u32,
+    // Waiter-side counters. These are bumped outside the inner mutex
+    // (on the park/spin path), so they are atomics on the scheduler.
+    spin_grants: AtomicU64,
+    prepark_grants: AtomicU64,
+    parks: AtomicU64,
+    spin_iters: AtomicU64,
 }
 
 impl Scheduler {
@@ -223,10 +325,29 @@ impl Scheduler {
                 drain_calls: 0,
                 delays: Vec::new(),
                 delay_mask: None,
+                threads: vec![None; n],
+                grants: 0,
+                self_grants: 0,
+                unparks: 0,
             }),
-            slots: (0..n).map(|_| Condvar::new()).collect(),
+            slots: (0..n).map(|_| HandoffSlot { state: AtomicU32::new(ARMED) }).collect(),
             budget,
+            self_grant: true,
+            spin_limit: auto_spin(n),
+            spin_grants: AtomicU64::new(0),
+            prepark_grants: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            spin_iters: AtomicU64::new(0),
         }
+    }
+
+    /// Apply explicit handoff tuning (builder style, before the
+    /// scheduler is shared). Schedule-invisible: any tuning runs the
+    /// identical decision sequence, only the handoff mechanics differ.
+    pub fn tuned(mut self, t: SchedTuning) -> Self {
+        self.self_grant = t.self_grant;
+        self.spin_limit = t.spin.unwrap_or_else(|| auto_spin(self.slots.len()));
+        self
     }
 
     /// Exploration-mode scheduler for `n` ranks: every decision drawn
@@ -293,14 +414,16 @@ impl Scheduler {
     }
 
     /// Grant the token to a random parked rank if everyone registered
-    /// is parked. Must be called with the lock held; wakes exactly the
-    /// granted rank (or everyone, on budget exhaustion).
-    fn try_dispatch(&self, inner: &mut Inner) {
+    /// is parked. Must be called with the lock held. `current` is the
+    /// stepping rank when the caller is eligible for the self-grant
+    /// fast path; returns `true` iff the grant went to `current`
+    /// inline (no slot traffic at all).
+    fn try_dispatch(&self, inner: &mut Inner, current: Option<Rank>) -> bool {
         if inner.aborted || inner.running.is_some() || inner.waiting.is_empty() {
-            return;
+            return false;
         }
         if inner.waiting.len() != inner.registered {
-            return; // somebody is still running toward a step point
+            return false; // somebody is still running toward a step point
         }
         inner.steps += 1;
         if inner.steps > self.budget {
@@ -308,21 +431,122 @@ impl Scheduler {
             if inner.record {
                 inner.log.push(SchedEvent::Budget);
             }
-            // Teardown is the one event every parked rank must see.
-            for slot in &self.slots {
-                slot.notify_all();
+            // Teardown is the one event every parked rank must see. No
+            // grant can be in flight here (`running` blocks dispatch
+            // until the grantee consumed it), so `ABORT` never
+            // overwrites a pending `GRANTED`.
+            for (rank, slot) in self.slots.iter().enumerate() {
+                if slot.state.swap(ABORT, Ordering::AcqRel) == PARKED {
+                    if let Some(t) = &inner.threads[rank] {
+                        t.unpark();
+                    }
+                }
             }
-            return;
+            return false;
         }
         let idx = inner.rng.below(inner.waiting.len());
         let rank = inner.waiting.remove(idx);
         inner.running = Some(rank);
+        inner.grants += 1;
         if inner.record {
             inner.log.push(SchedEvent::Grant { rank });
         }
-        // Direct handoff: the granted rank is the only thread whose
-        // wake condition changed.
-        self.slots[rank].notify_one();
+        if current == Some(rank) {
+            // Self-grant fast path: the stepping rank drew itself —
+            // certain whenever it is the sole waiter. Return the grant
+            // inline; the park/wake pair is elided.
+            inner.self_grants += 1;
+            return true;
+        }
+        // Direct handoff: flip the grantee's slot word. Unpark only if
+        // the waiter already committed to parking; if it is still in
+        // its spin/pre-park window it consumes the grant without ever
+        // sleeping.
+        let prev = self.slots[rank].state.swap(GRANTED, Ordering::AcqRel);
+        if prev == PARKED {
+            inner.unparks += 1;
+            inner.threads[rank]
+                .as_ref()
+                .expect("a waiting rank has stepped, so its thread is registered")
+                .unpark();
+        }
+        false
+    }
+
+    /// Wait on `rank`'s slot until granted or aborted. Called without
+    /// the inner lock; the grant signal travels through the slot word
+    /// (`Release` swap by the granter, `Acquire` loads here).
+    fn await_grant(&self, rank: Rank) -> StepOutcome {
+        let slot = &self.slots[rank];
+        // Phase 1: bounded spin (only when cores are spare; 0 on a
+        // saturated machine). A grant caught here never sleeps.
+        if self.spin_limit > 0 {
+            let mut iters: u64 = 0;
+            loop {
+                match slot.state.load(Ordering::Acquire) {
+                    GRANTED => {
+                        slot.state.store(ARMED, Ordering::Relaxed);
+                        self.spin_grants.fetch_add(1, Ordering::Relaxed);
+                        self.spin_iters.fetch_add(iters, Ordering::Relaxed);
+                        return StepOutcome::Run;
+                    }
+                    ABORT => {
+                        self.spin_iters.fetch_add(iters, Ordering::Relaxed);
+                        return self.abort_wait(rank);
+                    }
+                    _ => {
+                        if iters >= u64::from(self.spin_limit) {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                        iters += 1;
+                    }
+                }
+            }
+            self.spin_iters.fetch_add(iters, Ordering::Relaxed);
+        }
+        // Phase 2: park. Announce PARKED first so the granter knows an
+        // unpark is needed, re-check, then sleep. A stale unpark token
+        // (granter saw PARKED but we consumed the grant en route) only
+        // makes one later park return early — `thread::park` tolerates
+        // spurious returns by contract, and the loop re-checks.
+        let mut parked = false;
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                GRANTED => {
+                    slot.state.store(ARMED, Ordering::Relaxed);
+                    if !parked {
+                        // Raced the granter without spinning — not an
+                        // engineered elision, so counted separately.
+                        self.prepark_grants.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return StepOutcome::Run;
+                }
+                ABORT => return self.abort_wait(rank),
+                ARMED => {
+                    let _ = slot.state.compare_exchange(
+                        ARMED,
+                        PARKED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                }
+                _ => {
+                    // PARKED (by us): sleep until a granter unparks.
+                    self.parks.fetch_add(1, Ordering::Relaxed);
+                    parked = true;
+                    std::thread::park();
+                }
+            }
+        }
+    }
+
+    /// Budget fired while `rank` waited: leave the waiting set so a
+    /// concurrent accounting pass never sees a phantom parked rank.
+    fn abort_wait(&self, rank: Rank) -> StepOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        Scheduler::unpark(&mut inner, rank);
+        StepOutcome::Abort
     }
 
     /// Insert `rank` into the sorted waiting list (it is never already
@@ -343,23 +567,30 @@ impl Scheduler {
 impl SchedHook for Scheduler {
     fn step(&self, rank: Rank, _point: SchedPoint) -> StepOutcome {
         let mut inner = self.inner.lock().unwrap();
+        if inner.threads[rank].is_none() {
+            // First step of this rank's thread: register the handle a
+            // granter will unpark. Happens under the mutex before the
+            // rank can ever appear in `waiting`, so every grant
+            // targets a registered thread.
+            inner.threads[rank] = Some(std::thread::current());
+        }
         if inner.running == Some(rank) {
             inner.running = None;
         }
-        Scheduler::park(&mut inner, rank);
-        self.try_dispatch(&mut inner);
-        loop {
-            if inner.aborted {
-                // Leave the waiting set so a concurrent accounting pass
-                // never sees a phantom parked rank.
-                Scheduler::unpark(&mut inner, rank);
-                return StepOutcome::Abort;
-            }
-            if inner.running == Some(rank) {
-                return StepOutcome::Run;
-            }
-            inner = self.slots[rank].wait(inner).unwrap();
+        if inner.aborted {
+            return StepOutcome::Abort;
         }
+        Scheduler::park(&mut inner, rank);
+        let current = if self.self_grant { Some(rank) } else { None };
+        if self.try_dispatch(&mut inner, current) {
+            return StepOutcome::Run;
+        }
+        if inner.aborted {
+            Scheduler::unpark(&mut inner, rank);
+            return StepOutcome::Abort;
+        }
+        drop(inner);
+        self.await_grant(rank)
     }
 
     fn choose(&self, rank: Rank, kind: ChoiceKind, n: usize) -> usize {
@@ -402,8 +633,9 @@ impl SchedHook for Scheduler {
         }
         // The exit may have completed the "everyone parked" condition;
         // dispatch wakes whoever is granted. No other rank's wake
-        // condition changes, so no broadcast is needed.
-        self.try_dispatch(&mut inner);
+        // condition changes, so no broadcast is needed. The exiting
+        // rank is not stepping, so no self-grant candidate here.
+        self.try_dispatch(&mut inner, None);
     }
 
     fn on_kill(&self, victim: Rank) {
@@ -415,6 +647,22 @@ impl SchedHook for Scheduler {
 
     fn now(&self) -> u64 {
         self.inner.lock().unwrap().steps
+    }
+
+    fn handoff_stats(&self) -> HandoffStats {
+        let inner = self.inner.lock().unwrap();
+        HandoffStats {
+            steps: inner.steps,
+            grants: inner.grants,
+            self_grants: inner.self_grants,
+            spin_grants: self.spin_grants.load(Ordering::Relaxed),
+            prepark_grants: self.prepark_grants.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            unparks: inner.unparks,
+            spin_iters: self.spin_iters.load(Ordering::Relaxed),
+            // Wall-clock transport counter; the pool fills this in.
+            park_safety_timeouts: 0,
+        }
     }
 }
 
@@ -529,6 +777,58 @@ mod tests {
         // Drain call 2: full again.
         assert_eq!(sched.choose(0, ChoiceKind::Drain, 4), 3);
         assert_eq!(sched.delay_calls(), vec![1]);
+    }
+
+    /// A sole-waiter rank always draws itself: every grant must take
+    /// the self-grant fast path, with zero parks and zero unparks.
+    #[test]
+    fn sole_waiter_grants_are_all_elided() {
+        let sched = Scheduler::new(1, 5, 1000);
+        for _ in 0..50 {
+            assert_eq!(sched.step(0, SchedPoint::Tick), StepOutcome::Run);
+        }
+        sched.on_exit(0);
+        let stats = sched.handoff_stats();
+        assert_eq!(stats.grants, 50);
+        assert_eq!(stats.self_grants, 50);
+        assert_eq!(stats.elided(), 50);
+        assert_eq!(stats.parks, 0);
+        assert_eq!(stats.unparks, 0);
+    }
+
+    /// With the fast paths off ([`SchedTuning::disabled`]) the elided
+    /// counters are structurally zero — and the decision log is
+    /// byte-identical to the tuned run, because tuning only changes
+    /// handoff mechanics, never the schedule.
+    #[test]
+    fn disabled_tuning_elides_nothing_and_keeps_the_log() {
+        let run = |tuning: SchedTuning| {
+            let sched = Arc::new(Scheduler::new(2, 42, 1000).tuned(tuning));
+            let mut handles = Vec::new();
+            for me in 0..2 {
+                let s = Arc::clone(&sched);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        assert_eq!(s.step(me, SchedPoint::Tick), StepOutcome::Run);
+                    }
+                    s.on_exit(me);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            (sched.log_text(), sched.handoff_stats())
+        };
+        let (log_on, stats_on) = run(SchedTuning::default());
+        let (log_off, stats_off) = run(SchedTuning::disabled());
+        assert_eq!(log_on, log_off, "tuning changed the schedule");
+        assert_eq!(stats_off.elided(), 0, "disabled tuning still elided handoffs");
+        assert_eq!(stats_off.self_grants, 0);
+        assert_eq!(stats_off.spin_grants, 0);
+        assert_eq!(stats_on.grants, stats_off.grants);
+        // Two ranks ping-ponging: the PRNG draws the stepping rank
+        // about half the time, so the tuned run must elide some.
+        assert!(stats_on.self_grants > 0, "no self-grants on a 2-rank ping-pong");
     }
 
     #[test]

@@ -30,6 +30,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use faultsim::HandoffStats;
+
 use crate::oracle::check_all;
 use crate::scenario::{run_seed_quiet, Observation, ScenarioCfg, SeedRunner};
 use crate::shrink::shrink;
@@ -61,6 +63,15 @@ pub struct SweepCfg {
     /// exists for A/B comparison (`dst explore --no-pool`, the bench
     /// baselines), not correctness.
     pub use_pool: bool,
+    /// Total rank-thread budget for the sweep (`workers × ranks` stays
+    /// at or under it); `0` means auto: `max(12 × cores, 48)`. Each
+    /// worker universe has at most one runnable rank at a time (the
+    /// scheduler serializes it), so the budget bounds *runnable*
+    /// oversubscription at ~12 threads per core — inside the measured
+    /// plateau — rather than naively one worker per core, which
+    /// under-fills the machine whenever ranks spend time blocked in
+    /// handoff. Override with `dst explore --threads-budget N`.
+    pub threads_budget: usize,
 }
 
 impl Default for SweepCfg {
@@ -72,6 +83,7 @@ impl Default for SweepCfg {
             max_failures: 100,
             shrink_failures: false,
             use_pool: true,
+            threads_budget: 0,
         }
     }
 }
@@ -161,6 +173,9 @@ pub struct SweepReport {
     pub dropped_failures: u64,
     /// Wall-clock duration of the sweep (excludes corpus writing).
     pub elapsed: Duration,
+    /// Handoff-path counters summed over every seed run (grants,
+    /// elided handoffs, parks, spins — `dst explore --stats`).
+    pub handoff: HandoffStats,
 }
 
 impl SweepReport {
@@ -246,14 +261,24 @@ struct Aggregate {
     dropped: u64,
     cap: usize,
     failures: BTreeMap<u64, FailureSummary>,
+    handoff: HandoffStats,
 }
 
 impl Aggregate {
     fn new(cap: usize) -> Self {
-        Aggregate { green: 0, failing: 0, hung: 0, dropped: 0, cap, failures: BTreeMap::new() }
+        Aggregate {
+            green: 0,
+            failing: 0,
+            hung: 0,
+            dropped: 0,
+            cap,
+            failures: BTreeMap::new(),
+            handoff: HandoffStats::default(),
+        }
     }
 
-    fn record(&mut self, hung: bool, failure: Option<FailureSummary>) {
+    fn record(&mut self, hung: bool, failure: Option<FailureSummary>, handoff: &HandoffStats) {
+        self.handoff.add(handoff);
         if hung {
             self.hung += 1;
         }
@@ -284,7 +309,11 @@ impl Aggregate {
 /// with full recording — determinism makes the re-run the identical
 /// schedule, so the log is recoverable on demand instead of being paid
 /// for on every green seed.
-fn verdict_of(seed: u64, scenario: &ScenarioCfg, runner: Option<&mut SeedRunner>) -> (bool, Option<FailureSummary>) {
+fn verdict_of(
+    seed: u64,
+    scenario: &ScenarioCfg,
+    runner: Option<&mut SeedRunner>,
+) -> (bool, Option<FailureSummary>, HandoffStats) {
     let obs = match runner {
         Some(r) => r.run_seed_quiet(seed, scenario),
         None => run_seed_quiet(seed, scenario),
@@ -293,10 +322,11 @@ fn verdict_of(seed: u64, scenario: &ScenarioCfg, runner: Option<&mut SeedRunner>
 }
 
 /// Judge one observation and compress it to the streaming verdict.
-fn fold_verdict(seed: u64, obs: Observation) -> (bool, Option<FailureSummary>) {
+fn fold_verdict(seed: u64, obs: Observation) -> (bool, Option<FailureSummary>, HandoffStats) {
+    let handoff = obs.handoff;
     let violations = check_all(&obs);
     if violations.is_empty() {
-        return (obs.hung, None);
+        return (obs.hung, None, handoff);
     }
     let mut oracles: Vec<String> = Vec::new();
     for v in &violations {
@@ -315,7 +345,7 @@ fn fold_verdict(seed: u64, obs: Observation) -> (bool, Option<FailureSummary>) {
         triage: if obs.hung { crate::triage::triage(&obs).one_line() } else { String::new() },
         shrunk: None,
     };
-    (obs.hung, Some(summary))
+    (obs.hung, Some(summary), handoff)
 }
 
 /// Sweep `cfg.count` seeds from `cfg.start` over a worker pool and
@@ -337,12 +367,29 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
         .checked_add(cfg.count)
         .ok_or(SweepError::SeedRangeOverflow { start: cfg.start, count: cfg.count })?;
 
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Size workers against the total rank-thread budget rather than the
+    // core count: each worker universe contributes `ranks` threads but
+    // at most one of them is runnable at a time (the scheduler
+    // serializes it), so cores alone wildly under-fill the machine.
+    let budget = if cfg.threads_budget == 0 { (12 * cores).max(48) } else { cfg.threads_budget };
+    let cap = (budget / scenario.ranks.max(1)).max(1);
     let jobs = match cfg.jobs {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        n => n,
+        0 => cap,
+        n => n.min(cap),
     };
     // More workers than seeds just park on an empty cursor.
     let jobs = jobs.min(cfg.count.min(usize::MAX as u64) as usize).max(1);
+
+    // When the sweep oversubscribes the cores — the normal case under
+    // the budget — spinning in the handoff paths only burns cycles
+    // another worker's runnable rank could use. Force it off unless the
+    // caller pinned an explicit spin limit.
+    let mut scenario = scenario.clone();
+    if scenario.tuning.spin.is_none() && jobs.saturating_mul(scenario.ranks) >= cores {
+        scenario.tuning.spin = Some(0);
+    }
+    let scenario = &scenario;
 
     let begun = Instant::now();
     // The cursor hands out *offsets* in `0..count`, never absolute
@@ -372,9 +419,9 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
                     };
                     let end = begin.saturating_add(CHUNK).min(cfg.count);
                     for off in begin..end {
-                        let (hung, failure) =
+                        let (hung, failure, handoff) =
                             verdict_of(cfg.start + off, scenario, runner.as_mut());
-                        agg.lock().unwrap().record(hung, failure);
+                        agg.lock().unwrap().record(hung, failure, &handoff);
                     }
                 }
             });
@@ -405,6 +452,7 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
         failures: agg.failures,
         dropped_failures: agg.dropped,
         elapsed: begun.elapsed(),
+        handoff: agg.handoff,
     })
 }
 
@@ -447,11 +495,12 @@ mod tests {
         };
         let mut a = Aggregate::new(2);
         let mut b = Aggregate::new(2);
+        let stats = HandoffStats::default();
         for s in [9u64, 3, 7, 1] {
-            a.record(false, Some(fail(s)));
+            a.record(false, Some(fail(s)), &stats);
         }
         for s in [1u64, 7, 3, 9] {
-            b.record(false, Some(fail(s)));
+            b.record(false, Some(fail(s)), &stats);
         }
         let keys = |agg: &Aggregate| agg.failures.keys().copied().collect::<Vec<_>>();
         assert_eq!(keys(&a), vec![1, 3]);

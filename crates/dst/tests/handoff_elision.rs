@@ -1,0 +1,60 @@
+//! The self-grant fast path is a pure transport optimization: it must
+//! change *which thread hands off to which* and nothing else. These
+//! tests pin both halves of that contract on real ring workloads —
+//! decision logs stay byte-identical with the fast paths on, and the
+//! elision counters behave exactly as the tuning says they should.
+
+use dst::{run_seed, ScenarioCfg, SchedTuning};
+
+fn tuned(tuning: SchedTuning) -> ScenarioCfg {
+    ScenarioCfg { ranks: 4, tuning, ..ScenarioCfg::default() }
+}
+
+/// With every fast path disabled the elision counters are structurally
+/// zero; the only way a grant can be consumed is through the slot
+/// protocol (pre-park or after parking).
+#[test]
+fn disabled_tuning_reports_zero_elisions() {
+    for seed in [0x1u64, 0x2d, 0x77, 0x1234] {
+        let obs = run_seed(seed, &tuned(SchedTuning::disabled()));
+        assert_eq!(
+            obs.handoff.elided(),
+            0,
+            "seed {seed:#x}: elided handoffs with fast paths disabled"
+        );
+        assert_eq!(obs.handoff.self_grants, 0, "seed {seed:#x}");
+        assert_eq!(obs.handoff.spin_grants, 0, "seed {seed:#x}");
+    }
+}
+
+/// Ring workloads grant the stepping rank back to itself often enough
+/// (sole waiter at startup/teardown, 1-in-N draws in steady state)
+/// that the default tuning must show elisions on every seed.
+#[test]
+fn default_tuning_elides_handoffs_on_ring_workloads() {
+    for seed in [0x1u64, 0x2d, 0x77, 0x1234] {
+        let obs = run_seed(seed, &ScenarioCfg { ranks: 4, ..ScenarioCfg::default() });
+        assert!(
+            obs.handoff.elided() > 0,
+            "seed {seed:#x}: no elided handoffs on a ring workload"
+        );
+        assert!(obs.handoff.grants >= obs.handoff.elided(), "seed {seed:#x}");
+    }
+}
+
+/// The acceptance property: decision logs are byte-identical whether
+/// the fast paths are on or off — elision changes the handoff
+/// mechanics, never the PRNG stream or the logged decisions.
+#[test]
+fn fast_paths_leave_the_decision_log_byte_identical() {
+    for seed in [0x1u64, 0x2d, 0x77, 0x1234] {
+        let fast = run_seed(seed, &ScenarioCfg { ranks: 4, ..ScenarioCfg::default() });
+        let slow = run_seed(seed, &tuned(SchedTuning::disabled()));
+        assert_eq!(
+            fast.log, slow.log,
+            "seed {seed:#x}: decision log diverged between tunings"
+        );
+        assert_eq!(fast.hung, slow.hung, "seed {seed:#x}");
+        assert_eq!(fast.delay_calls, slow.delay_calls, "seed {seed:#x}");
+    }
+}

@@ -76,6 +76,66 @@ pub enum StepOutcome {
     Abort,
 }
 
+/// Handoff-path performance counters reported by a [`SchedHook`].
+///
+/// A serializing scheduler hands the CPU from rank to rank at every
+/// [`SchedHook::step`]; each handoff normally costs a park/unpark pair
+/// of OS context switches. Implementations that elide handoffs (grant
+/// the stepping rank inline, or catch a grant by spinning before
+/// parking) expose the accounting here so harnesses can report the
+/// win per run instead of inferring it from throughput.
+///
+/// All counters are cumulative since the hook was constructed (or
+/// reset). The default [`SchedHook::handoff_stats`] returns zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandoffStats {
+    /// Logical steps taken (grant attempts, including the one that
+    /// exhausts the budget).
+    pub steps: u64,
+    /// Grants actually issued.
+    pub grants: u64,
+    /// Grants returned inline to the stepping rank (self-grant fast
+    /// path): no park, no unpark, no context switch.
+    pub self_grants: u64,
+    /// Grants consumed during the bounded spin phase, before the
+    /// waiter ever parked.
+    pub spin_grants: u64,
+    /// Grants consumed at a pre-park state check without spinning —
+    /// the waiter raced the granter and never slept. Not counted as
+    /// an elision: this window exists even with all fast paths off.
+    pub prepark_grants: u64,
+    /// `thread::park` calls made by waiting ranks.
+    pub parks: u64,
+    /// `Thread::unpark` wakeups issued by granters.
+    pub unparks: u64,
+    /// Total spin-loop iterations spent across all waits.
+    pub spin_iters: u64,
+    /// Wall-clock park-safety timeouts observed by the transport
+    /// (filled in by the runtime, not the scheduler).
+    pub park_safety_timeouts: u64,
+}
+
+impl HandoffStats {
+    /// Handoffs that skipped the park/unpark context-switch pair
+    /// thanks to an explicit fast path.
+    pub fn elided(&self) -> u64 {
+        self.self_grants + self.spin_grants
+    }
+
+    /// Accumulate another run's counters (sweep aggregation).
+    pub fn add(&mut self, other: &HandoffStats) {
+        self.steps += other.steps;
+        self.grants += other.grants;
+        self.self_grants += other.self_grants;
+        self.spin_grants += other.spin_grants;
+        self.prepark_grants += other.prepark_grants;
+        self.parks += other.parks;
+        self.unparks += other.unparks;
+        self.spin_iters += other.spin_iters;
+        self.park_safety_timeouts += other.park_safety_timeouts;
+    }
+}
+
 /// Scheduling decisions driven by a test harness. See the module docs
 /// for the runtime's calling contract.
 pub trait SchedHook: Send + Sync {
@@ -97,6 +157,12 @@ pub trait SchedHook: Send + Sync {
     /// Logical time for deterministic trace timestamps.
     fn now(&self) -> u64 {
         0
+    }
+
+    /// Handoff-path performance counters accumulated so far. Hooks
+    /// without elision machinery report zeros.
+    fn handoff_stats(&self) -> HandoffStats {
+        HandoffStats::default()
     }
 }
 
@@ -131,5 +197,29 @@ mod tests {
         assert_eq!(hook.choose(0, ChoiceKind::Drain, 3), 0);
         hook.on_kill(2);
         assert_eq!(hook.now(), 0);
+        let stats = hook.handoff_stats();
+        assert_eq!(stats, HandoffStats::default());
+        assert_eq!(stats.elided(), 0);
+    }
+
+    #[test]
+    fn handoff_stats_accumulate() {
+        let mut total = HandoffStats::default();
+        let one = HandoffStats {
+            steps: 10,
+            grants: 9,
+            self_grants: 3,
+            spin_grants: 2,
+            prepark_grants: 1,
+            parks: 4,
+            unparks: 4,
+            spin_iters: 128,
+            park_safety_timeouts: 1,
+        };
+        total.add(&one);
+        total.add(&one);
+        assert_eq!(total.grants, 18);
+        assert_eq!(total.elided(), 10);
+        assert_eq!(total.park_safety_timeouts, 2);
     }
 }

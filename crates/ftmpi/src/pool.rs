@@ -44,12 +44,12 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::{JoinHandle, Thread};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use faultsim::{KillHandle, SchedPoint, StepOutcome};
 
@@ -62,22 +62,52 @@ use crate::universe::{RunReport, Shared, UniverseConfig, WATCHDOG_ABORT_CODE};
 /// the worker-owned drain-buffer scratch, kept warm across runs.
 type Job = Box<dyn FnOnce(&mut Vec<Envelope>) + Send>;
 
+/// Spin iterations a worker burns before parking, when the machine has
+/// spare cores. Each iteration re-checks the queue under its lock, so
+/// this is a handful of microseconds at most; on a saturated machine
+/// the pool sets it to 0 and workers park immediately.
+const POOL_SPIN: u32 = 64;
+
 /// Per-worker job queue. A queue, not a slot: the respawn extension
 /// can enqueue a rank's next incarnation while the previous one is
 /// still unwinding on the same worker (incarnations of one rank then
 /// run in order, which also makes the "later incarnations overwrite
 /// the outcome" rule deterministic instead of racy).
+///
+/// Idle workers sleep via `thread::park`, not a condvar: a submitter
+/// pays one atomic load (and an unpark only when the worker actually
+/// sleeps) instead of an unconditional notify through the condvar
+/// machinery — measured ~150 ns per empty `notify_one` on the
+/// reference box, paid once per job submission (DESIGN.md §8.9).
 struct WorkerSlot {
     queue: Mutex<VecDeque<Job>>,
-    cv: Condvar,
+    /// True while the worker has committed to parking; tells a
+    /// submitter an unpark is required. Stores/loads are ordered
+    /// against the queue by the `queue` mutex critical sections (the
+    /// worker re-checks the queue under the lock after setting this).
+    parked: AtomicBool,
+    /// The worker's thread handle, registered by the worker before it
+    /// first touches the queue.
+    thread: OnceLock<Thread>,
 }
 
 struct PoolCore {
     slots: Vec<WorkerSlot>,
     shutdown: AtomicBool,
-    /// Jobs completed in the current run; reset by `UniversePool::run`.
-    done: Mutex<usize>,
-    done_cv: Condvar,
+    /// Jobs completed in the current run; rewound by `UniversePool::run`.
+    done: AtomicUsize,
+    /// Jobs submitted so far in the current run — maintained *before*
+    /// each submission so a worker comparing `done >= target` can only
+    /// see the caller's wait satisfied when every submitted job truly
+    /// finished.
+    target: AtomicUsize,
+    /// The caller thread blocked in `wait_done`, if any. The caller
+    /// registers itself here *before* re-checking `done`, so a worker
+    /// that bumps `done` past the target either sees the registration
+    /// (and unparks) or the caller's re-check sees the bump.
+    waiter: Mutex<Option<Thread>>,
+    /// Bounded spin before a worker parks (0 on a saturated machine).
+    spin: u32,
 }
 
 impl PoolCore {
@@ -91,51 +121,89 @@ impl PoolCore {
         self.slots[worker].queue.lock().push_back(job);
     }
 
-    /// Wake every worker (locking serializes with the empty-queue
-    /// check, so no wakeup is lost).
+    /// Unpark `worker` iff it declared itself parked. Safe against the
+    /// lost-wakeup race: the worker sets `parked` *before* its final
+    /// under-lock queue re-check, and callers kick only after their
+    /// push's critical section — so either the re-check sees the job,
+    /// or the kick sees `parked` and delivers the unpark token.
+    fn kick(&self, worker: usize) {
+        let slot = &self.slots[worker];
+        if slot.parked.load(Ordering::Acquire) {
+            if let Some(t) = slot.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+
     fn kick_all(&self) {
-        for slot in &self.slots {
-            let _guard = slot.queue.lock();
-            slot.cv.notify_one();
+        for i in 0..self.slots.len() {
+            self.kick(i);
         }
     }
 
     fn submit(&self, worker: usize, job: Job) {
-        let slot = &self.slots[worker];
-        slot.queue.lock().push_back(job);
-        slot.cv.notify_one();
+        self.push(worker, job);
+        self.kick(worker);
     }
 
     fn done_count(&self) -> usize {
-        *self.done.lock()
+        self.done.load(Ordering::Acquire)
     }
 
     fn wait_done(&self, target: usize) {
-        let mut done = self.done.lock();
-        while *done < target {
-            self.done_cv.wait(&mut done);
+        if self.done.load(Ordering::Acquire) >= target {
+            return;
         }
+        // Register first, then re-check: a worker that crosses the
+        // target after the re-check is guaranteed to observe the
+        // registration and unpark us. A stale unpark token from a
+        // previous run at worst makes one park return early; the loop
+        // re-checks.
+        *self.waiter.lock() = Some(std::thread::current());
+        while self.done.load(Ordering::Acquire) < target {
+            std::thread::park();
+        }
+        *self.waiter.lock() = None;
     }
 }
 
 fn worker_loop(core: Arc<PoolCore>, idx: usize) {
+    let slot = &core.slots[idx];
+    let _ = slot.thread.set(std::thread::current());
     // Warm drain-buffer scratch, lent to every job this worker runs.
     let mut scratch: Vec<Envelope> = Vec::new();
-    loop {
-        let job = {
-            let slot = &core.slots[idx];
-            let mut q = slot.queue.lock();
-            loop {
-                if let Some(j) = q.pop_front() {
-                    break Some(j);
-                }
-                if core.shutdown.load(Ordering::Acquire) {
-                    break None;
-                }
-                slot.cv.wait(&mut q);
+    'outer: loop {
+        let job = 'take: loop {
+            if let Some(j) = slot.queue.lock().pop_front() {
+                break 'take j;
             }
+            if core.shutdown.load(Ordering::Acquire) {
+                break 'outer;
+            }
+            // Bounded spin (only when cores are spare): during a
+            // sweep's steady state the next job lands within the
+            // window and the park/unpark round trip is elided.
+            for _ in 0..core.spin {
+                std::hint::spin_loop();
+                if let Some(j) = slot.queue.lock().pop_front() {
+                    break 'take j;
+                }
+            }
+            // Commit to parking, then re-check the queue *under the
+            // lock*: a submitter that pushed before our re-check is
+            // seen here; one that pushes after is ordered behind our
+            // `parked` store by the queue critical sections and will
+            // kick us.
+            slot.parked.store(true, Ordering::Release);
+            {
+                let q = slot.queue.lock();
+                if q.is_empty() && !core.shutdown.load(Ordering::Acquire) {
+                    drop(q);
+                    std::thread::park();
+                }
+            }
+            slot.parked.store(false, Ordering::Release);
         };
-        let Some(job) = job else { return };
         // The job's own `catch_unwind` covers the rank closure; this
         // outer one covers the bookkeeping tail, so a panicking job
         // still counts as finished — `run` then reports the missing
@@ -145,9 +213,16 @@ fn worker_loop(core: Arc<PoolCore>, idx: usize) {
         // captured `Arc<Shared>` before the completion signal below —
         // `run` relies on that for exclusive access at the next reset.
         let _ = std::panic::catch_unwind(AssertUnwindSafe(|| job(&mut scratch)));
-        let mut done = core.done.lock();
-        *done += 1;
-        core.done_cv.notify_one();
+        let done = core.done.fetch_add(1, Ordering::AcqRel) + 1;
+        if done >= core.target.load(Ordering::Acquire) {
+            // Possibly the last job of the run: wake the caller if it
+            // is (or is about to be) parked in `wait_done`. Spurious
+            // wakes (another submission raised the target since) are
+            // harmless — the caller re-checks.
+            if let Some(t) = core.waiter.lock().as_ref() {
+                t.unpark();
+            }
+        }
     }
 }
 
@@ -177,13 +252,23 @@ impl UniversePool {
     /// A pool of `n` rank-executor threads, named `rank-0 .. rank-{n-1}`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "universe needs at least one rank");
+        // Spin only when the machine has cores to spare beyond the
+        // rank workers themselves; on a saturated box a spinning
+        // worker would steal the CPU the running rank needs.
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
         let core = Arc::new(PoolCore {
             slots: (0..n)
-                .map(|_| WorkerSlot { queue: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+                .map(|_| WorkerSlot {
+                    queue: Mutex::new(VecDeque::new()),
+                    parked: AtomicBool::new(false),
+                    thread: OnceLock::new(),
+                })
                 .collect(),
             shutdown: AtomicBool::new(false),
-            done: Mutex::new(0),
-            done_cv: Condvar::new(),
+            done: AtomicUsize::new(0),
+            target: AtomicUsize::new(0),
+            waiter: Mutex::new(None),
+            spin: if cores > n { POOL_SPIN } else { 0 },
         });
         let workers = (0..n)
             .map(|i| {
@@ -255,12 +340,17 @@ impl UniversePool {
         // Only the caller's thread submits jobs, so a plain Cell counts
         // them.
         let spawned = Cell::new(0usize);
-        *self.core.done.lock() = 0;
+        self.core.done.store(0, Ordering::Release);
+        self.core.target.store(0, Ordering::Release);
         let start = Instant::now();
         let mut hung = false;
 
         let submit_incarnation = |me: usize, gen: u32, kick: bool| {
             spawned.set(spawned.get() + 1);
+            // Raise the completion target before the job exists: a
+            // worker can then never observe `done >= target` with this
+            // job outstanding.
+            self.core.target.store(spawned.get(), Ordering::Release);
             let shared = Arc::clone(&shared);
             let f = &f;
             let outcomes = &outcomes;
@@ -398,6 +488,9 @@ impl UniversePool {
         }
         let generations = (0..n).map(|r| shared.registry.generation(r)).collect();
         let park_timeouts = shared.fabric.park_timeouts();
+        let mut handoff =
+            shared.sched.as_ref().map(|s| s.handoff_stats()).unwrap_or_default();
+        handoff.park_safety_timeouts = park_timeouts;
         let outcomes = outcomes
             .into_inner()
             .into_iter()
@@ -410,6 +503,7 @@ impl UniversePool {
             duration: start.elapsed(),
             generations,
             park_timeouts,
+            handoff,
         };
         // Keep the universe state warm for the next run.
         self.shared = Some(shared);
@@ -421,10 +515,16 @@ impl Drop for UniversePool {
     fn drop(&mut self) {
         self.core.shutdown.store(true, Ordering::Release);
         for slot in &self.core.slots {
-            // Lock to serialize with a worker between its empty-queue
-            // check and its wait, eliminating the lost-wakeup race.
-            let _guard = slot.queue.lock();
-            slot.cv.notify_one();
+            // Lock to serialize with a worker's pre-park re-check
+            // (which reads `shutdown` inside the queue critical
+            // section): after this critical section the worker either
+            // saw the flag and will not park, or it is parked and the
+            // unconditional unpark below wakes it. The `parked` flag
+            // alone would race store-vs-load here.
+            drop(slot.queue.lock());
+            if let Some(t) = slot.thread.get() {
+                t.unpark();
+            }
         }
         for h in self.workers.drain(..) {
             let _ = h.join();

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use faultsim::{AsyncSchedule, FaultPlan, Injector, SchedHook};
+use faultsim::{AsyncSchedule, FaultPlan, HandoffStats, Injector, SchedHook};
 
 use crate::coord::CommBoard;
 use crate::detector::FailureRegistry;
@@ -253,6 +253,10 @@ pub struct RunReport<T> {
     /// missed-notification bug; idle waits (async kill schedules,
     /// respawn delays, watchdog hangs) fire it benignly.
     pub park_timeouts: u64,
+    /// Handoff-path performance counters from the simulation scheduler
+    /// (zeros in wall-clock mode), with `park_safety_timeouts` mirrored
+    /// from the transport. See [`faultsim::HandoffStats`].
+    pub handoff: HandoffStats,
 }
 
 impl<T> RunReport<T> {
