@@ -6,7 +6,10 @@
 //! (serial per-seed cost), `explore_shape/<shape>` (per-kill-shape cost
 //! of the taxonomy sweeps, DESIGN.md §8.8) and `sweep_jobs/{1,8}` (the
 //! parallel engine) — so the perf trajectory is a committed artifact,
-//! not folklore in PR descriptions.
+//! not folklore in PR descriptions. The `allocs_per_schedule/{4,8}`
+//! series records steady-state heap allocations per schedule
+//! (DESIGN.md §8.10) — deterministic and lower-is-better, gated
+//! tightly by `scripts/bench_gate.py`.
 //!
 //! The tracked ids measure the default (pooled) executor: each series
 //! reuses one persistent rank-executor pool across schedules. The
@@ -165,6 +168,50 @@ fn main() {
         }
     }
 
+    // Steady-state allocation cost (DESIGN.md §8.10): mean heap
+    // allocations per schedule on the pooled quiet path — rank job
+    // bodies plus harness work, as counted by the `allocstats` global
+    // allocator — after a full warm-up pass over the same window. The
+    // number is deterministic (the same seeds always allocate the same
+    // amount), so unlike the timing series it carries no noise;
+    // `scripts/bench_gate.py` holds it to a *lower-is-better* 1.1×
+    // bound, catching a per-step or per-message allocation reappearing
+    // in the hot path. The `rate` field carries allocs/schedule for
+    // these ids, not schedules/sec.
+    //
+    // The window is the SAME in quick and full mode: the 1.1x gate
+    // bound only works because current and baseline average the exact
+    // same seeds — a shorter quick window would change the workload
+    // mix and masquerade as a regression. Two serial passes over 2000
+    // seeds cost a few seconds, cheap enough for CI smoke mode.
+    const ALLOC_WINDOW: u64 = 2000;
+    let alloc_window = ALLOC_WINDOW;
+    for ranks in [4usize, 8] {
+        let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+        let mut runner = SeedRunner::new(ranks);
+        for s in 0..alloc_window {
+            let _ = runner.run_seed_quiet(s, &cfg);
+        }
+        let start = Instant::now();
+        let mut allocs = 0u64;
+        for s in 0..alloc_window {
+            allocs += runner.run_seed_quiet(s, &cfg).alloc.allocs;
+        }
+        let elapsed = start.elapsed();
+        let per_schedule = allocs as f64 / alloc_window as f64;
+        let id = format!("allocs_per_schedule/{ranks}");
+        eprintln!(
+            "{id}: {per_schedule:.1} allocs/schedule ({alloc_window} schedules in {elapsed:?})"
+        );
+        entries.push(Entry {
+            id,
+            rate: per_schedule,
+            batches: 1,
+            schedules: alloc_window,
+            elapsed,
+        });
+    }
+
     // The parallel engine at the tracked worker counts, pooled
     // (default) and spawn-per-run.
     const SWEEP_BATCH: u64 = 64;
@@ -207,7 +254,7 @@ fn main() {
     // comparable across runs measured on the same window: widening it
     // changes the workload mix (see EXPERIMENTS.md, explore/8 triage),
     // so the window is part of the record, not ambient configuration.
-    json.push_str(&format!("  \"seed_window\": {{ \"explore\": {SEED_SPACE}, \"shape\": {SHAPE_SEED_SPACE} }},\n"));
+    json.push_str(&format!("  \"seed_window\": {{ \"explore\": {SEED_SPACE}, \"shape\": {SHAPE_SEED_SPACE}, \"alloc\": {ALLOC_WINDOW} }},\n"));
     json.push_str("  \"results\": {\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(

@@ -41,11 +41,15 @@ impl Ctx<'_> {
     fn salvage(&mut self, req: Request) -> Result<()> {
         match self.p.test(req) {
             Ok(Some(c)) if !c.status.is_proc_null() && !c.data.is_empty() => {
-                self.pending
-                    .push_back((RingMsg::from_bytes(&c.data)?, c.status.source));
+                let tok = RingMsg::from_bytes(&c.data)?;
+                self.p.recycle_payload(c.data);
+                self.pending.push_back((tok, c.status.source));
                 Ok(())
             }
-            Ok(Some(_)) => Ok(()),
+            Ok(Some(c)) => {
+                self.p.recycle_payload(c.data);
+                Ok(())
+            }
             Ok(None) => self.p.cancel(req),
             Err(e) if e.is_terminal() => Err(e),
             Err(_) => Ok(()), // completed in error; nothing to salvage
@@ -128,6 +132,7 @@ impl Ctx<'_> {
             Ok(Some(nc)) if !nc.status.is_proc_null() && !nc.data.is_empty() => {
                 self.normal = None;
                 let ntok = RingMsg::from_bytes(&nc.data)?;
+                self.p.recycle_payload(nc.data);
                 let nsender = nc.status.source;
                 if ntok.marker <= tok.marker {
                     self.pending.push_back((tok, sender));
@@ -175,20 +180,20 @@ impl Ctx<'_> {
             // Fig. 8/10 behaviour (a real MPI_Waitany may return
             // either; prioritizing the failure is the conservative
             // choice).
-            let mut reqs: Vec<Request> = Vec::with_capacity(3);
+            self.wait_reqs.clear();
             let detector_req = self.detector.map(|(r, _)| r);
             if let Some(r) = detector_req {
-                reqs.push(r);
+                self.wait_reqs.push(r);
             }
             let (normal_req, _) = self.normal.expect("normal receive posted");
-            reqs.push(normal_req);
+            self.wait_reqs.push(normal_req);
             let resend_req = self.resend_rx.map(|(r, _)| r);
             if let Some(r) = resend_req {
-                reqs.push(r);
+                self.wait_reqs.push(r);
             }
 
-            let out = self.p.waitany(&reqs)?;
-            let fired = reqs[out.index];
+            let out = self.p.waitany(&self.wait_reqs)?;
+            let fired = self.wait_reqs[out.index];
 
             if Some(fired) == detector_req {
                 self.detector = None;
@@ -205,6 +210,7 @@ impl Ctx<'_> {
                         // the normal slot and hand tokens out in marker
                         // order (cascade seed 0xf5a).
                         let tok = RingMsg::from_bytes(&c.data)?;
+                        self.p.recycle_payload(c.data);
                         self.last_recv_from = c.status.source;
                         return self.ordered_with_normal_slot(tok, c.status.source);
                     }
@@ -232,7 +238,9 @@ impl Ctx<'_> {
             match out.result {
                 Ok(c) if !c.status.is_proc_null() => {
                     self.last_recv_from = c.status.source;
-                    return RingMsg::from_bytes(&c.data);
+                    let tok = RingMsg::from_bytes(&c.data)?;
+                    self.p.recycle_payload(c.data);
+                    return Ok(tok);
                 }
                 Ok(_) | Err(Error::RankFailStop { .. }) => {
                     // Left neighbour failed: with the naive strategy

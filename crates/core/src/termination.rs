@@ -57,20 +57,21 @@ impl Ctx<'_> {
             if self.cfg.recv == RecvStrategy::Detector {
                 self.repoint_detector()?;
             }
-            let mut reqs = Vec::with_capacity(2);
+            self.wait_reqs.clear();
             let detector_req = self.detector.map(|(r, _)| r);
             if let Some(d) = detector_req {
-                reqs.push(d);
+                self.wait_reqs.push(d);
             }
-            reqs.push(term.expect("termination receive posted"));
-            let out = self.p.waitany(&reqs)?;
-            let fired = reqs[out.index];
+            self.wait_reqs.push(term.expect("termination receive posted"));
+            let out = self.p.waitany(&self.wait_reqs)?;
+            let fired = self.wait_reqs[out.index];
             if Some(fired) == detector_req {
                 self.detector = None;
                 match out.result {
                     Ok(c) if !c.status.is_proc_null() => {
                         // Late ring token: drop (everything this rank
                         // owed the ring has been forwarded).
+                        self.p.recycle_payload(c.data);
                         self.stats.duplicates_dropped += 1;
                     }
                     Ok(_) | Err(Error::RankFailStop { .. }) => {
@@ -88,7 +89,10 @@ impl Ctx<'_> {
             // The termination receive completed (and is consumed).
             let _ = term.take();
             match out.result {
-                Ok(c) if !c.status.is_proc_null() => return Ok(()),
+                Ok(c) if !c.status.is_proc_null() => {
+                    self.p.recycle_payload(c.data);
+                    return Ok(());
+                }
                 Ok(_) | Err(Error::RankFailStop { .. }) => {
                     // Lines 22–24: "Root failed, Abort."
                     return Err(self.p.abort(self.comm, -1));
@@ -105,18 +109,19 @@ impl Ctx<'_> {
             if self.cfg.recv == RecvStrategy::Detector {
                 self.repoint_detector()?;
             }
-            let mut reqs = Vec::with_capacity(2);
+            self.wait_reqs.clear();
             let detector_req = self.detector.map(|(r, _)| r);
             if let Some(d) = detector_req {
-                reqs.push(d);
+                self.wait_reqs.push(d);
             }
-            reqs.push(vreq);
-            let out = self.p.waitany(&reqs)?;
-            let fired = reqs[out.index];
+            self.wait_reqs.push(vreq);
+            let out = self.p.waitany(&self.wait_reqs)?;
+            let fired = self.wait_reqs[out.index];
             if Some(fired) == detector_req {
                 self.detector = None;
                 match out.result {
                     Ok(c) if !c.status.is_proc_null() => {
+                        self.p.recycle_payload(c.data);
                         self.stats.duplicates_dropped += 1;
                     }
                     Ok(_) | Err(Error::RankFailStop { .. }) => {
@@ -178,18 +183,19 @@ impl Ctx<'_> {
             if self.cfg.recv == RecvStrategy::Detector {
                 self.repoint_detector()?;
             }
-            let mut reqs = Vec::with_capacity(2);
+            self.wait_reqs.clear();
             let detector_req = self.detector.map(|(r, _)| r);
             if let Some(d) = detector_req {
-                reqs.push(d);
+                self.wait_reqs.push(d);
             }
-            reqs.push(breq);
-            let out = self.p.waitany(&reqs)?;
-            let fired = reqs[out.index];
+            self.wait_reqs.push(breq);
+            let out = self.p.waitany(&self.wait_reqs)?;
+            let fired = self.wait_reqs[out.index];
             if Some(fired) == detector_req {
                 self.detector = None;
                 match out.result {
                     Ok(c) if !c.status.is_proc_null() => {
+                        self.p.recycle_payload(c.data);
                         self.stats.duplicates_dropped += 1;
                     }
                     Ok(_) | Err(Error::RankFailStop { .. }) => {

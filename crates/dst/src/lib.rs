@@ -23,6 +23,17 @@
 
 #![warn(missing_docs)]
 
+/// The counting global allocator (DESIGN.md §8.10): every binary and
+/// test linking `dst` counts heap traffic per thread, which is what
+/// makes [`scenario::Observation::alloc`], `dst explore --stats`
+/// allocs/schedule, and the tier-1 allocation-ceiling test live
+/// numbers instead of zeros. `allocstats::StatsAlloc` delegates
+/// straight to `std::alloc::System` plus four thread-local counter
+/// bumps, so simulation timing is unaffected in any way an oracle
+/// could observe (and determinism never depends on timing anyway).
+#[global_allocator]
+static ALLOC: allocstats::StatsAlloc = allocstats::StatsAlloc;
+
 pub mod oracle;
 pub mod scenario;
 pub mod sched;

@@ -26,7 +26,8 @@
 //!
 //! `--shape` selects a kill-shape family from the DESIGN.md §8.8
 //! taxonomy (`pair`, `triple`, `root-chain`, `cascade`, `validate`,
-//! `spaced`); `--shape all` sweeps every shape in turn (explore only).
+//! `spaced`, `masked`); `--shape all` sweeps every shape in turn
+//! (explore only).
 //!
 //! Exit status is non-zero when an oracle violation (explore/replay),
 //! an unshrinkable failure (shrink), or a log divergence (determinism)
@@ -261,7 +262,7 @@ fn usage() -> String {
      [--seed S] [--seeds N] [--start S] [--jobs N] [--corpus PATH] \
      [--shrink-failures] [--max-failures N] [--no-pool] \
      [--stats] [--threads-budget N] \
-     [--shape <pair|triple|root-chain|cascade|validate|spaced|all>] \
+     [--shape <pair|triple|root-chain|cascade|validate|spaced|masked|all>] \
      [--buggy] [--ranks N] [--iters N] [--log] [--triage]"
         .to_string()
 }
@@ -362,6 +363,15 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
                 h.unparks,
                 h.spin_iters,
                 h.park_safety_timeouts
+            );
+            let a = &report.alloc;
+            println!(
+                "alloc [shape {shape}]: {:.1} allocs/schedule \
+                 ({} allocs, {} frees, {:.1} KiB alloc'd/schedule)",
+                a.allocs as f64 / report.count as f64,
+                a.allocs,
+                a.deallocs,
+                a.bytes_alloc as f64 / report.count as f64 / 1024.0
             );
         }
 

@@ -15,6 +15,7 @@
 
 use std::sync::Arc;
 
+use allocstats::AllocStats;
 use faultsim::{FaultPlan, HookKind};
 use ftmpi::{run, RankOutcome, TimedEvent, UniverseConfig, UniversePool, WORLD};
 use ftring::{run_ring, RingConfig, RingStats};
@@ -65,18 +66,27 @@ pub enum KillShape {
     /// Two to three kills spaced many hook occurrences apart, so
     /// failures land in different laps with full recovery in between.
     Spaced,
+    /// Delay-mask-coupled: one or two ordinary kills *plus* an
+    /// explicit seed-derived delay-mask (the only shape that populates
+    /// [`Schedule::delay_mask`] during exploration). Forced delays pin
+    /// message hold-back to exact drain calls instead of leaving it to
+    /// the scheduler's random stream, concentrating reorderings around
+    /// the failure window — the regime ddmin shrinking replays, now
+    /// explored at sweep volume.
+    Masked,
 }
 
 impl KillShape {
     /// Every shape, in taxonomy order (`dst explore --shape all`
     /// sweeps these).
-    pub const ALL: [KillShape; 6] = [
+    pub const ALL: [KillShape; 7] = [
         KillShape::Pair,
         KillShape::Triple,
         KillShape::RootChain,
         KillShape::Cascade,
         KillShape::Validate,
         KillShape::Spaced,
+        KillShape::Masked,
     ];
 
     /// Stable CLI / corpus name.
@@ -88,6 +98,7 @@ impl KillShape {
             KillShape::Cascade => "cascade",
             KillShape::Validate => "validate",
             KillShape::Spaced => "spaced",
+            KillShape::Masked => "masked",
         }
     }
 
@@ -100,6 +111,7 @@ impl KillShape {
             "cascade" => Some(KillShape::Cascade),
             "validate" => Some(KillShape::Validate),
             "spaced" => Some(KillShape::Spaced),
+            "masked" => Some(KillShape::Masked),
             _ => None,
         }
     }
@@ -220,87 +232,134 @@ pub struct Schedule {
     /// Fail-stops to inject.
     pub kills: Vec<Kill>,
     /// `None`: delays fire randomly from the seed (exploration).
-    /// `Some`: exactly these drain calls delay (replay of a shrunk
-    /// schedule).
+    /// `Some`: exactly these drain calls delay — replay of a shrunk
+    /// schedule, or a [`KillShape::Masked`] derivation.
     pub delay_mask: Option<Vec<u64>>,
 }
 
 impl Schedule {
     /// Derive the canonical schedule for `seed` under `cfg`: the
     /// kill-set comes from a salted stream of the same seed shaped by
-    /// `cfg.shape`, delays are left to the scheduler's own randomness.
+    /// `cfg.shape`. Delays are left to the scheduler's own randomness
+    /// for every shape except [`KillShape::Masked`], which derives an
+    /// explicit delay-mask from the same stream (after its kills, so
+    /// the kill draws stay independent of the mask width).
     pub fn from_seed(seed: u64, cfg: &ScenarioCfg) -> Self {
+        let mut s = Schedule { seed, kills: Vec::new(), delay_mask: None };
+        Schedule::from_seed_into(seed, cfg, &mut s);
+        s
+    }
+
+    /// [`Schedule::from_seed`] into an existing schedule, reusing its
+    /// kill and mask buffers — the steady-state path (DESIGN.md §8.10):
+    /// a [`SeedRunner`] derives thousands of schedules back-to-back and
+    /// this keeps the derivation allocation-free after the first seed.
+    /// The PRNG draw sequence is identical to the allocating path (only
+    /// the collection target differs), so the two derive byte-identical
+    /// schedules — the frozen-pair pin and the golden logs referee.
+    pub fn from_seed_into(seed: u64, cfg: &ScenarioCfg, out: &mut Schedule) {
+        out.seed = seed;
+        out.kills.clear();
         let mut rng = SplitMix64::new(seed ^ KILL_SALT);
-        let kills = if cfg.buggy_dedup {
-            derive_buggy(&mut rng, cfg)
+        if cfg.buggy_dedup {
+            derive_buggy(&mut rng, cfg, &mut out.kills);
         } else {
             match cfg.shape {
-                KillShape::Pair => derive_pair(&mut rng, cfg),
-                KillShape::Triple => derive_triple(&mut rng, cfg),
-                KillShape::RootChain => derive_root_chain(&mut rng, cfg),
-                KillShape::Cascade => derive_cascade(&mut rng, cfg),
-                KillShape::Validate => derive_validate(&mut rng, cfg),
-                KillShape::Spaced => derive_spaced(&mut rng, cfg),
+                KillShape::Pair => derive_pair(&mut rng, cfg, &mut out.kills),
+                KillShape::Triple => derive_triple(&mut rng, cfg, &mut out.kills),
+                KillShape::RootChain => derive_root_chain(&mut rng, cfg, &mut out.kills),
+                KillShape::Cascade => derive_cascade(&mut rng, cfg, &mut out.kills),
+                KillShape::Validate => derive_validate(&mut rng, cfg, &mut out.kills),
+                KillShape::Spaced => derive_spaced(&mut rng, cfg, &mut out.kills),
+                KillShape::Masked => derive_masked_kills(&mut rng, cfg, &mut out.kills),
             }
-        };
-        Schedule { seed, kills, delay_mask: None }
+        }
+        if !cfg.buggy_dedup && cfg.shape == KillShape::Masked {
+            let mask = out.delay_mask.get_or_insert_with(Vec::new);
+            mask.clear();
+            derive_delay_mask(&mut rng, mask);
+        } else {
+            out.delay_mask = None;
+        }
+    }
+}
+
+/// Fixed-capacity victim scratch: no shape draws more than 3 distinct
+/// victims, so the dedup set lives on the stack and derivation never
+/// allocates for it.
+#[derive(Default)]
+struct Victims {
+    buf: [usize; 3],
+    len: usize,
+}
+
+impl Victims {
+    fn push(&mut self, v: usize) {
+        self.buf[self.len] = v;
+        self.len += 1;
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        self.buf[..self.len].contains(&v)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.buf[..self.len].iter().copied()
     }
 }
 
 /// The Fig. 8 bug needs a victim dying after forwarding the token so
 /// the predecessor's resend duplicates it; derive 1–2 such kills among
 /// non-root ranks.
-fn derive_buggy(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+fn derive_buggy(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
     let n = 1 + rng.below(2);
-    let mut victims: Vec<usize> = Vec::new();
-    while victims.len() < n && victims.len() < cfg.ranks - 1 {
+    let mut victims = Victims::default();
+    while victims.len < n && victims.len < cfg.ranks - 1 {
         let v = 1 + rng.below(cfg.ranks - 1);
-        if !victims.contains(&v) {
+        if !victims.contains(v) {
             victims.push(v);
         }
     }
-    victims
-        .into_iter()
-        .map(|v| Kill {
+    for v in victims.iter() {
+        kills.push(Kill {
             victim: v,
             hook: HookKind::AfterSend,
             occurrence: 1 + rng.below(cfg.max_iter as usize) as u64,
-        })
-        .collect()
+        });
+    }
 }
 
 /// Legacy hardened-ring derivation: 0–2 kills anywhere (root failover
 /// makes even rank 0 fair game). **Frozen**: the golden decision logs
 /// and every recorded seed ≤ PR 6 named schedules through this exact
 /// draw sequence.
-fn derive_pair(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+fn derive_pair(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
     let n = rng.below(3);
-    let mut victims: Vec<usize> = Vec::new();
-    while victims.len() < n && victims.len() < cfg.ranks - 1 {
+    let mut victims = Victims::default();
+    while victims.len < n && victims.len < cfg.ranks - 1 {
         let v = rng.below(cfg.ranks);
-        if !victims.contains(&v) {
+        if !victims.contains(v) {
             victims.push(v);
         }
     }
-    victims
-        .into_iter()
-        .map(|v| Kill {
+    for v in victims.iter() {
+        kills.push(Kill {
             victim: v,
             hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
             occurrence: 1 + rng.below(25) as u64,
-        })
-        .collect()
+        });
+    }
 }
 
-/// Up to `want` distinct victims drawn uniformly from `0..ranks`,
-/// never more than `ranks - 1` (at least one rank always survives the
-/// *plan* — though with every other rank dead it may legitimately end
-/// alone and abort, per Fig. 5).
-fn distinct_victims(rng: &mut SplitMix64, ranks: usize, want: usize) -> Vec<usize> {
-    let mut victims: Vec<usize> = Vec::new();
-    while victims.len() < want && victims.len() < ranks - 1 {
+/// Up to `want` (≤ 3) distinct victims drawn uniformly from
+/// `0..ranks`, never more than `ranks - 1` (at least one rank always
+/// survives the *plan* — though with every other rank dead it may
+/// legitimately end alone and abort, per Fig. 5).
+fn distinct_victims(rng: &mut SplitMix64, ranks: usize, want: usize) -> Victims {
+    let mut victims = Victims::default();
+    while victims.len < want && victims.len < ranks - 1 {
         let v = rng.below(ranks);
-        if !victims.contains(&v) {
+        if !victims.contains(v) {
             victims.push(v);
         }
     }
@@ -308,99 +367,119 @@ fn distinct_victims(rng: &mut SplitMix64, ranks: usize, want: usize) -> Vec<usiz
 }
 
 /// Three distinct victims at independent ordinary protocol points.
-fn derive_triple(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
-    distinct_victims(rng, cfg.ranks, 3)
-        .into_iter()
-        .map(|v| Kill {
+fn derive_triple(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
+    let victims = distinct_victims(rng, cfg.ranks, 3);
+    for v in victims.iter() {
+        kills.push(Kill {
             victim: v,
             hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
             occurrence: 1 + rng.below(25) as u64,
-        })
-        .collect()
+        });
+    }
 }
 
 /// The initial root and its immediate successor(s) — ranks `0..len` —
 /// dying within a few hook occurrences of one another.
-fn derive_root_chain(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+fn derive_root_chain(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
     let len = (2 + rng.below(2)).min(cfg.ranks - 1);
     let base = 1 + rng.below(12) as u64;
-    (0..len)
-        .map(|v| Kill {
+    for v in 0..len {
+        kills.push(Kill {
             victim: v,
             hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
             occurrence: base + rng.below(3) as u64,
-        })
-        .collect()
+        });
+    }
 }
 
 /// Cascading takeover: ranks `0, 1, 2, …` die at strictly increasing
 /// occurrences, so each newly elected root dies in turn.
-fn derive_cascade(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+fn derive_cascade(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
     let max_chain = (cfg.ranks - 1).min(4);
     let len = 2 + rng.below(max_chain.saturating_sub(1).max(1));
     let len = len.min(max_chain);
     let mut occurrence = 1 + rng.below(8) as u64;
-    (0..len)
-        .map(|v| {
-            let k = Kill {
-                victim: v,
-                hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
-                occurrence,
-            };
-            occurrence += 1 + rng.below(6) as u64;
-            k
-        })
-        .collect()
+    for v in 0..len {
+        kills.push(Kill {
+            victim: v,
+            hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+            occurrence,
+        });
+        occurrence += 1 + rng.below(6) as u64;
+    }
 }
 
 /// One or two victims with at least one kill on a validate hook —
 /// failure *during* the `MPI_Comm_validate_all` agreement. A second
 /// victim (when drawn) dies either in the consensus too or at an
 /// ordinary point, pushing repair traffic into the validate window.
-fn derive_validate(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+fn derive_validate(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
     const VALIDATE_HOOKS: [HookKind; 2] =
         [HookKind::BeforeValidate, HookKind::AfterValidate];
     let n = 1 + rng.below(2);
-    distinct_victims(rng, cfg.ranks, n)
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| {
-            if i == 0 || rng.below(2) == 0 {
-                Kill {
-                    victim: v,
-                    hook: VALIDATE_HOOKS[rng.below(VALIDATE_HOOKS.len())],
-                    occurrence: 1 + rng.below(2) as u64,
-                }
-            } else {
-                Kill {
-                    victim: v,
-                    hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
-                    occurrence: 1 + rng.below(25) as u64,
-                }
-            }
-        })
-        .collect()
+    let victims = distinct_victims(rng, cfg.ranks, n);
+    for (i, v) in victims.iter().enumerate() {
+        if i == 0 || rng.below(2) == 0 {
+            kills.push(Kill {
+                victim: v,
+                hook: VALIDATE_HOOKS[rng.below(VALIDATE_HOOKS.len())],
+                occurrence: 1 + rng.below(2) as u64,
+            });
+        } else {
+            kills.push(Kill {
+                victim: v,
+                hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+                occurrence: 1 + rng.below(25) as u64,
+            });
+        }
+    }
 }
 
 /// Two to three kills spaced 15–34 hook occurrences apart: failures in
 /// different laps, full recovery (detector fire, resend, possible
 /// takeover) completing between them.
-fn derive_spaced(rng: &mut SplitMix64, cfg: &ScenarioCfg) -> Vec<Kill> {
+fn derive_spaced(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
     let n = 2 + rng.below(2);
     let victims = distinct_victims(rng, cfg.ranks, n);
     let mut occurrence = 1 + rng.below(10) as u64;
-    victims
-        .into_iter()
-        .map(|v| {
-            let k = Kill {
-                victim: v,
-                hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
-                occurrence,
-            };
-            occurrence += 15 + rng.below(20) as u64;
-            k
-        })
-        .collect()
+    for v in victims.iter() {
+        kills.push(Kill {
+            victim: v,
+            hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+            occurrence,
+        });
+        occurrence += 15 + rng.below(20) as u64;
+    }
+}
+
+/// One or two kills at ordinary protocol points — the mask supplies
+/// the pressure, so the kill-set stays simple (and always non-empty:
+/// a mask without a failure exercises nothing the pair shape's random
+/// delays don't already cover).
+fn derive_masked_kills(rng: &mut SplitMix64, cfg: &ScenarioCfg, kills: &mut Vec<Kill>) {
+    let n = 1 + rng.below(2);
+    let victims = distinct_victims(rng, cfg.ranks, n);
+    for v in victims.iter() {
+        kills.push(Kill {
+            victim: v,
+            hook: KILL_HOOKS[rng.below(KILL_HOOKS.len())],
+            occurrence: 1 + rng.below(25) as u64,
+        });
+    }
+}
+
+/// Seed-derived forced-delay set for [`KillShape::Masked`]: 4–24 drain
+/// calls drawn from the first 300 (the window the kill occurrences
+/// above land in), deduplicated and sorted. Drains past the window
+/// deliver in full, so a masked run always makes progress — the mask
+/// concentrates reordering, it cannot starve the ring.
+fn derive_delay_mask(rng: &mut SplitMix64, mask: &mut Vec<u64>) {
+    let n = 4 + rng.below(21);
+    for _ in 0..n {
+        mask.push(rng.below(300) as u64);
+    }
+    mask.sort_unstable();
+    mask.dedup();
 }
 
 /// Simplified per-rank outcome (type-erased for the oracles).
@@ -443,6 +522,12 @@ pub struct Observation {
     /// Handoff-path performance counters for this run (grants, elided
     /// handoffs, parks, spins — see [`faultsim::HandoffStats`]).
     pub handoff: faultsim::HandoffStats,
+    /// Heap-allocation counters for this schedule: the rank job bodies
+    /// ([`ftmpi::RunReport::alloc`]) plus the harness's own work on the
+    /// calling thread (schedule derivation, scheduler construction,
+    /// observation assembly). Counted by the [`allocstats::StatsAlloc`]
+    /// global allocator this crate installs.
+    pub alloc: AllocStats,
 }
 
 impl Observation {
@@ -498,12 +583,20 @@ pub fn run_schedule_with(
 /// spawn-per-run.
 pub struct SeedRunner {
     pool: UniversePool,
+    /// Scratch schedule reused across [`SeedRunner::run_seed`] calls:
+    /// [`Schedule::from_seed_into`] rewrites it in place, so the
+    /// kill/mask vectors warm up once and steady-state derivation
+    /// stops allocating per seed.
+    derive: Schedule,
 }
 
 impl SeedRunner {
     /// A runner for universes of `ranks` ranks.
     pub fn new(ranks: usize) -> Self {
-        SeedRunner { pool: UniversePool::new(ranks) }
+        SeedRunner {
+            pool: UniversePool::new(ranks),
+            derive: Schedule { seed: 0, kills: Vec::new(), delay_mask: None },
+        }
     }
 
     /// The rank count this runner's pool was built for.
@@ -528,13 +621,44 @@ impl SeedRunner {
 
     /// [`run_seed`], on the persistent pool.
     pub fn run_seed(&mut self, seed: u64, cfg: &ScenarioCfg) -> Observation {
-        self.run_schedule_with(&Schedule::from_seed(seed, cfg), cfg, Retention::Full)
+        self.run_seed_with(seed, cfg, Retention::Full)
     }
 
     /// [`run_seed_quiet`], on the persistent pool.
     pub fn run_seed_quiet(&mut self, seed: u64, cfg: &ScenarioCfg) -> Observation {
-        self.run_schedule_with(&Schedule::from_seed(seed, cfg), cfg, Retention::Quiet)
+        self.run_seed_with(seed, cfg, Retention::Quiet)
     }
+
+    /// Derive into the runner's scratch schedule (no per-seed
+    /// allocation once the vectors are warm) and execute it, counting
+    /// the derivation's heap traffic into the observation.
+    fn run_seed_with(
+        &mut self,
+        seed: u64,
+        cfg: &ScenarioCfg,
+        retention: Retention,
+    ) -> Observation {
+        assert_eq!(
+            cfg.ranks,
+            self.pool.size(),
+            "scenario rank count does not match this runner's pool"
+        );
+        let before = allocstats::snapshot();
+        Schedule::from_seed_into(seed, cfg, &mut self.derive);
+        let derive = allocstats::snapshot().since(&before);
+        let mut obs = execute(Some(&mut self.pool), &self.derive, cfg, retention);
+        obs.alloc.add(&derive);
+        obs
+    }
+}
+
+/// Derive the schedule for `seed` while counting the derivation's own
+/// heap traffic, so seed-level entry points attribute it to the
+/// observation (`dst explore --stats` reports whole-schedule numbers).
+fn derive_measured(seed: u64, cfg: &ScenarioCfg) -> (Schedule, AllocStats) {
+    let before = allocstats::snapshot();
+    let schedule = Schedule::from_seed(seed, cfg);
+    (schedule, allocstats::snapshot().since(&before))
 }
 
 /// The one execution path behind both the pooled and spawn-per-run
@@ -545,10 +669,17 @@ fn execute(
     cfg: &ScenarioCfg,
     retention: Retention,
 ) -> Observation {
+    // Measure the harness's own heap traffic on this thread (scheduler
+    // construction, plan fold, outcome flattening); the rank bodies'
+    // traffic arrives separately via `RunReport::alloc`.
+    let alloc_before = allocstats::snapshot();
     let sched = match (&schedule.delay_mask, retention) {
-        (Some(mask), _) => {
-            // Masked replay exists to be inspected; always record.
+        (Some(mask), Retention::Full) => {
             Scheduler::with_delay_mask(cfg.ranks, schedule.seed, cfg.step_budget, mask)
+        }
+        (Some(mask), Retention::Quiet) => {
+            // The masked kill shape sweeps explicit masks at volume.
+            Scheduler::with_delay_mask_quiet(cfg.ranks, schedule.seed, cfg.step_budget, mask)
         }
         (None, Retention::Full) => Scheduler::new(cfg.ranks, schedule.seed, cfg.step_budget),
         (None, Retention::Quiet) => Scheduler::quiet(cfg.ranks, schedule.seed, cfg.step_budget),
@@ -593,7 +724,7 @@ fn execute(
         }
     }
 
-    Observation {
+    let mut obs = Observation {
         schedule: schedule.clone(),
         cfg: cfg.clone(),
         outcomes,
@@ -604,18 +735,29 @@ fn execute(
         log: sched.log_text(),
         delay_calls: sched.delay_calls(),
         handoff: report.handoff,
-    }
+        alloc: AllocStats::default(),
+    };
+    // Snapshot *after* assembly so the observation's own clones count.
+    obs.alloc = allocstats::snapshot().since(&alloc_before);
+    obs.alloc.add(&report.alloc);
+    obs
 }
 
 /// Convenience: derive the schedule for `seed` and run it.
 pub fn run_seed(seed: u64, cfg: &ScenarioCfg) -> Observation {
-    run_schedule(&Schedule::from_seed(seed, cfg), cfg)
+    let (schedule, derive) = derive_measured(seed, cfg);
+    let mut obs = run_schedule(&schedule, cfg);
+    obs.alloc.add(&derive);
+    obs
 }
 
 /// [`run_seed`] without log retention ([`Retention::Quiet`]) — the
 /// sweep engine's per-seed workhorse.
 pub fn run_seed_quiet(seed: u64, cfg: &ScenarioCfg) -> Observation {
-    run_schedule_with(&Schedule::from_seed(seed, cfg), cfg, Retention::Quiet)
+    let (schedule, derive) = derive_measured(seed, cfg);
+    let mut obs = run_schedule_with(&schedule, cfg, Retention::Quiet);
+    obs.alloc.add(&derive);
+    obs
 }
 
 #[cfg(test)]
@@ -725,7 +867,7 @@ mod tests {
         }
 
         // Spaced: consecutive kills at least 15 occurrences apart.
-        for s in seeds {
+        for s in seeds.clone() {
             let kills = Schedule::from_seed(s, &cfg_for(KillShape::Spaced)).kills;
             assert!(kills.len() >= 2);
             for w in kills.windows(2) {
@@ -734,6 +876,27 @@ mod tests {
                     "spaced kills must be widely separated"
                 );
             }
+        }
+
+        // Masked: the only shape that populates the delay mask —
+        // non-empty, bounded, sorted, all indices in the drain window.
+        for s in seeds {
+            let sch = Schedule::from_seed(s, &cfg_for(KillShape::Masked));
+            assert!(!sch.kills.is_empty(), "masked shape must kill someone");
+            assert!(sch.kills.len() <= 2);
+            let mask = sch.delay_mask.expect("masked shape must derive a delay mask");
+            assert!(!mask.is_empty() && mask.len() <= 24, "mask out of bounds");
+            assert!(mask.iter().all(|&i| i < 300), "mask index past drain window");
+            assert!(
+                mask.windows(2).all(|w| w[0] < w[1]),
+                "mask must be sorted and deduplicated"
+            );
+        }
+
+        // Every other shape leaves delays to the scheduler stream.
+        for shape in KillShape::ALL.into_iter().filter(|s| *s != KillShape::Masked) {
+            let sch = Schedule::from_seed(7, &cfg_for(shape));
+            assert!(sch.delay_mask.is_none(), "{shape} must not derive a mask");
         }
     }
 

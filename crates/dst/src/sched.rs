@@ -374,6 +374,16 @@ impl Scheduler {
         s
     }
 
+    /// Zero-retention variant of [`Scheduler::with_delay_mask`]: the
+    /// identical masked schedule with no decision log and no delay
+    /// list. The `masked` kill shape sweeps seed-derived masks at
+    /// volume; recording every run would defeat quiet sweeps.
+    pub fn with_delay_mask_quiet(n: usize, seed: u64, budget: u64, mask: &[u64]) -> Self {
+        let s = Scheduler::quiet(n, seed, budget);
+        s.inner.lock().unwrap().delay_mask = Some(mask.iter().copied().collect());
+        s
+    }
+
     /// The decision log so far, one event per line — byte-identical for
     /// identical `(seed, kills, mask)` inputs. Empty for a
     /// [`Scheduler::quiet`] scheduler.

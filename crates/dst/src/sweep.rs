@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use allocstats::AllocStats;
 use faultsim::HandoffStats;
 
 use crate::oracle::check_all;
@@ -176,6 +177,11 @@ pub struct SweepReport {
     /// Handoff-path counters summed over every seed run (grants,
     /// elided handoffs, parks, spins — `dst explore --stats`).
     pub handoff: HandoffStats,
+    /// Heap-allocation counters summed over every seed run
+    /// ([`Observation::alloc`]); `dst explore --stats` divides by
+    /// `count` for allocations per schedule. Zeros unless the binary
+    /// installs [`allocstats::StatsAlloc`] (the `dst` binary does).
+    pub alloc: AllocStats,
 }
 
 impl SweepReport {
@@ -262,6 +268,7 @@ struct Aggregate {
     cap: usize,
     failures: BTreeMap<u64, FailureSummary>,
     handoff: HandoffStats,
+    alloc: AllocStats,
 }
 
 impl Aggregate {
@@ -274,11 +281,14 @@ impl Aggregate {
             cap,
             failures: BTreeMap::new(),
             handoff: HandoffStats::default(),
+            alloc: AllocStats::default(),
         }
     }
 
-    fn record(&mut self, hung: bool, failure: Option<FailureSummary>, handoff: &HandoffStats) {
-        self.handoff.add(handoff);
+    fn record(&mut self, verdict: SeedVerdict) {
+        let SeedVerdict { hung, failure, handoff, alloc } = verdict;
+        self.handoff.add(&handoff);
+        self.alloc.add(&alloc);
         if hung {
             self.hung += 1;
         }
@@ -300,6 +310,14 @@ impl Aggregate {
     }
 }
 
+/// The compact per-seed result a worker streams into the aggregator.
+struct SeedVerdict {
+    hung: bool,
+    failure: Option<FailureSummary>,
+    handoff: HandoffStats,
+    alloc: AllocStats,
+}
+
 /// Run one seed and fold it into a verdict.
 ///
 /// Seeds run **zero-retention** ([`run_seed_quiet`]): the scheduler
@@ -309,11 +327,7 @@ impl Aggregate {
 /// with full recording — determinism makes the re-run the identical
 /// schedule, so the log is recoverable on demand instead of being paid
 /// for on every green seed.
-fn verdict_of(
-    seed: u64,
-    scenario: &ScenarioCfg,
-    runner: Option<&mut SeedRunner>,
-) -> (bool, Option<FailureSummary>, HandoffStats) {
+fn verdict_of(seed: u64, scenario: &ScenarioCfg, runner: Option<&mut SeedRunner>) -> SeedVerdict {
     let obs = match runner {
         Some(r) => r.run_seed_quiet(seed, scenario),
         None => run_seed_quiet(seed, scenario),
@@ -322,11 +336,12 @@ fn verdict_of(
 }
 
 /// Judge one observation and compress it to the streaming verdict.
-fn fold_verdict(seed: u64, obs: Observation) -> (bool, Option<FailureSummary>, HandoffStats) {
+fn fold_verdict(seed: u64, obs: Observation) -> SeedVerdict {
     let handoff = obs.handoff;
+    let alloc = obs.alloc;
     let violations = check_all(&obs);
     if violations.is_empty() {
-        return (obs.hung, None, handoff);
+        return SeedVerdict { hung: obs.hung, failure: None, handoff, alloc };
     }
     let mut oracles: Vec<String> = Vec::new();
     for v in &violations {
@@ -345,7 +360,7 @@ fn fold_verdict(seed: u64, obs: Observation) -> (bool, Option<FailureSummary>, H
         triage: if obs.hung { crate::triage::triage(&obs).one_line() } else { String::new() },
         shrunk: None,
     };
-    (obs.hung, Some(summary), handoff)
+    SeedVerdict { hung: obs.hung, failure: Some(summary), handoff, alloc }
 }
 
 /// Sweep `cfg.count` seeds from `cfg.start` over a worker pool and
@@ -419,9 +434,8 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
                     };
                     let end = begin.saturating_add(CHUNK).min(cfg.count);
                     for off in begin..end {
-                        let (hung, failure, handoff) =
-                            verdict_of(cfg.start + off, scenario, runner.as_mut());
-                        agg.lock().unwrap().record(hung, failure, &handoff);
+                        let verdict = verdict_of(cfg.start + off, scenario, runner.as_mut());
+                        agg.lock().unwrap().record(verdict);
                     }
                 }
             });
@@ -453,6 +467,7 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
         dropped_failures: agg.dropped,
         elapsed: begun.elapsed(),
         handoff: agg.handoff,
+        alloc: agg.alloc,
     })
 }
 
@@ -493,14 +508,19 @@ mod tests {
             triage: String::new(),
             shrunk: None,
         };
+        let verdict = |seed| SeedVerdict {
+            hung: false,
+            failure: Some(fail(seed)),
+            handoff: HandoffStats::default(),
+            alloc: AllocStats::default(),
+        };
         let mut a = Aggregate::new(2);
         let mut b = Aggregate::new(2);
-        let stats = HandoffStats::default();
         for s in [9u64, 3, 7, 1] {
-            a.record(false, Some(fail(s)), &stats);
+            a.record(verdict(s));
         }
         for s in [1u64, 7, 3, 9] {
-            b.record(false, Some(fail(s)), &stats);
+            b.record(verdict(s));
         }
         let keys = |agg: &Aggregate| agg.failures.keys().copied().collect::<Vec<_>>();
         assert_eq!(keys(&a), vec![1, 3]);

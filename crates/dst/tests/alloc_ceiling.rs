@@ -1,0 +1,74 @@
+//! Tier-1 allocation ceiling: the zero-alloc-steady-state work
+//! (DESIGN.md §8.10) must not silently regress.
+//!
+//! Seeds `0..32` at 4 and 8 ranks run twice on one persistent
+//! [`SeedRunner`]: the first pass warms the payload pool and the
+//! rank-executor scratch, the second pass is measured. The mean
+//! allocations per schedule — rank job bodies plus harness work, as
+//! counted by the [`allocstats`] global allocator `dst` installs —
+//! must stay under a pinned ceiling.
+//!
+//! The ceilings carry ~3× headroom over the measured steady state
+//! (see the table in DESIGN.md §8.10), so they only trip on a
+//! *structural* regression — a per-step or per-message allocation
+//! reappearing in the hot path — not on jitter or a modest feature
+//! landing. The CI bench gate (`scripts/bench_gate.py`, series
+//! `allocs_per_schedule/*`) enforces the tight 1.1× bound against the
+//! committed baseline; this test is the coarse in-tree backstop that
+//! runs everywhere, benchmarks or not.
+
+use dst::{Retention, ScenarioCfg, Schedule, SeedRunner};
+
+const SEEDS: std::ops::Range<u64> = 0..32;
+
+/// Mean allocations per schedule over one pass of `SEEDS`.
+fn measure(runner: &mut SeedRunner, cfg: &ScenarioCfg) -> f64 {
+    let mut allocs = 0u64;
+    for seed in SEEDS {
+        let obs = runner.run_seed_quiet(seed, cfg);
+        assert!(!obs.hung, "seed {seed:#x} hung during the ceiling pass");
+        allocs += obs.alloc.allocs;
+    }
+    allocs as f64 / (SEEDS.end - SEEDS.start) as f64
+}
+
+fn check(ranks: usize, ceiling: f64) {
+    let cfg = ScenarioCfg { ranks, ..ScenarioCfg::default() };
+    let mut runner = SeedRunner::new(ranks);
+    // Warm pass: cold-pool buffer mints and lazily-built scratch land
+    // here, not in the measurement.
+    for seed in SEEDS {
+        let _ = runner.run_seed_quiet(seed, &cfg);
+    }
+    let steady = measure(&mut runner, &cfg);
+    assert!(
+        steady <= ceiling,
+        "steady-state allocation regression at {ranks} ranks: \
+         {steady:.1} allocs/schedule exceeds the {ceiling:.0} ceiling \
+         (if intentional, re-measure and update both this pin and \
+         BENCH_dst.json's allocs_per_schedule baseline)"
+    );
+}
+
+#[test]
+fn steady_state_allocs_within_ceiling_r4() {
+    check(4, 220.0);
+}
+
+#[test]
+fn steady_state_allocs_within_ceiling_r8() {
+    check(8, 460.0);
+}
+
+/// The pooled quiet path and the spawn-per-run recorded path agree on
+/// the schedule (same kills, same mask) — the ceiling above measures
+/// the path sweeps actually take.
+#[test]
+fn ceiling_measures_the_sweep_path() {
+    let cfg = ScenarioCfg::default();
+    let mut runner = SeedRunner::new(cfg.ranks);
+    let schedule = Schedule::from_seed(7, &cfg);
+    let quiet = runner.run_schedule_with(&schedule, &cfg, Retention::Quiet);
+    assert_eq!(quiet.schedule.kills, schedule.kills);
+    assert!(quiet.log.is_empty(), "quiet retention must not record");
+}

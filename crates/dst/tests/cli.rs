@@ -107,7 +107,7 @@ fn explore_all_shapes_prints_per_shape_summaries() {
     let out = dst(&["explore", "--seeds", "3", "--shape", "all"]);
     assert!(out.status.success(), "explore --shape all failed: {}", stderr(&out));
     let text = stdout(&out);
-    for shape in ["pair", "triple", "root-chain", "cascade", "validate", "spaced"] {
+    for shape in ["pair", "triple", "root-chain", "cascade", "validate", "spaced", "masked"] {
         assert!(
             text.contains(&format!("(shape {shape},")),
             "missing summary for shape {shape}: {text}"

@@ -52,15 +52,19 @@ fn all_seeds() -> impl Iterator<Item = u64> {
 /// reorder (cascade `0xf5a`), and the zero-hop takeover closure
 /// (triple `0x18576`, which fails at 8 ranks only but pins both).
 fn shape_seeds() -> impl Iterator<Item = (KillShape, u64)> {
+    // Masked pins chain last (not in taxonomy order) so its addition
+    // kept the golden files append-only.
     let per_shape = KillShape::ALL
         .into_iter()
-        .filter(|s| *s != KillShape::Pair)
+        .filter(|s| *s != KillShape::Pair && *s != KillShape::Masked)
         .flat_map(|s| (0..4u64).map(move |seed| (s, seed)));
-    per_shape.chain([
-        (KillShape::RootChain, 0x1d1),
-        (KillShape::Cascade, 0xf5a),
-        (KillShape::Triple, 0x18576),
-    ])
+    per_shape
+        .chain([
+            (KillShape::RootChain, 0x1d1),
+            (KillShape::Cascade, 0xf5a),
+            (KillShape::Triple, 0x18576),
+        ])
+        .chain((0..4u64).map(|seed| (KillShape::Masked, seed)))
 }
 
 fn golden_path(ranks: usize) -> PathBuf {

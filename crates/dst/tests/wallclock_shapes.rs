@@ -104,3 +104,12 @@ fn shape_validate() {
 fn shape_spaced() {
     run_shape(KillShape::Spaced);
 }
+
+/// The masked shape's delay-mask names simulated drain calls, which
+/// have no wall-clock analogue — `run_shape` ignores
+/// `Schedule::delay_mask` and exercises the kill-set alone, same as
+/// the DST oracles' protocol-level claims.
+#[test]
+fn shape_masked() {
+    run_shape(KillShape::Masked);
+}

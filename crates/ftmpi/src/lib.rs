@@ -57,6 +57,7 @@ mod group;
 mod matching;
 mod message;
 mod nbc;
+mod paypool;
 mod pool;
 mod process;
 mod rank;
@@ -73,6 +74,7 @@ pub use datatype::Datatype;
 pub use error::{Error, ErrorHandler, FailureEvent, RankOutcome, Result};
 pub use group::Group;
 pub use message::ContextId;
+pub use paypool::PayloadPool;
 pub use pool::UniversePool;
 pub use process::{Process, Src, WaitAny};
 pub use rank::{CommRank, RankInfo, RankState, WorldRank, ANY_SOURCE, PROC_NULL};

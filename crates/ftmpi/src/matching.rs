@@ -92,8 +92,20 @@ pub(crate) struct MatchEngine {
 }
 
 impl MatchEngine {
+    #[allow(dead_code)] // unit tests construct engines directly
     pub(crate) fn new() -> Self {
         MatchEngine::default()
+    }
+
+    /// Empty every queue while keeping their capacity: the reuse hook
+    /// for pooled workers, whose `RankScratch` carries one engine
+    /// across incarnations and runs (steady-state matching then runs
+    /// allocation-free once the buffers have grown to the workload).
+    pub(crate) fn reset(&mut self) {
+        self.unexpected.clear();
+        self.posted.clear();
+        self.scratch_firsts.clear();
+        self.scratch_seen.clear();
     }
 
     /// Number of unexpected messages currently queued.

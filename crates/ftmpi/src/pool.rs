@@ -44,23 +44,25 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::{JoinHandle, Thread};
 use std::time::{Duration, Instant};
 
+use allocstats::AllocStats;
 use parking_lot::Mutex;
 
 use faultsim::{KillHandle, SchedPoint, StepOutcome};
 
 use crate::error::{Error, RankOutcome, Result};
-use crate::message::Envelope;
-use crate::process::Process;
+use crate::process::{Process, RankScratch};
 use crate::universe::{RunReport, Shared, UniverseConfig, WATCHDOG_ABORT_CODE};
 
 /// One unit of work: one rank incarnation of one run. The argument is
-/// the worker-owned drain-buffer scratch, kept warm across runs.
-type Job = Box<dyn FnOnce(&mut Vec<Envelope>) + Send>;
+/// the worker-owned [`RankScratch`] (drain buffer, match engine,
+/// request table, communicator table, encode scratch), kept warm
+/// across runs.
+type Job = Box<dyn FnOnce(&mut RankScratch) + Send>;
 
 /// Spin iterations a worker burns before parking, when the machine has
 /// spare cores. Each iteration re-checks the queue under its lock, so
@@ -108,6 +110,50 @@ struct PoolCore {
     waiter: Mutex<Option<Thread>>,
     /// Bounded spin before a worker parks (0 on a saturated machine).
     spin: u32,
+    /// Heap traffic of the current run's job bodies, accumulated from
+    /// each worker's thread-local counters (see [`AllocTally`]).
+    alloc: AllocTally,
+}
+
+/// Run-scoped allocation tally. Workers snapshot their thread-local
+/// `allocstats` counters around each job body and fold the delta in
+/// here; `UniversePool::run` rewinds it at the start of a run and
+/// harvests it into [`RunReport::alloc`] at the end. All counters are
+/// `Relaxed`: they are statistics, ordered against the harvest by the
+/// run's completion barrier (`wait_done`), and stay zero unless the
+/// final binary installs [`allocstats::StatsAlloc`] as its global
+/// allocator (the `dst` harness does).
+#[derive(Default)]
+struct AllocTally {
+    allocs: AtomicU64,
+    deallocs: AtomicU64,
+    bytes_alloc: AtomicU64,
+    bytes_freed: AtomicU64,
+}
+
+impl AllocTally {
+    fn add(&self, d: &AllocStats) {
+        self.allocs.fetch_add(d.allocs, Ordering::Relaxed);
+        self.deallocs.fetch_add(d.deallocs, Ordering::Relaxed);
+        self.bytes_alloc.fetch_add(d.bytes_alloc, Ordering::Relaxed);
+        self.bytes_freed.fetch_add(d.bytes_freed, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.allocs.store(0, Ordering::Relaxed);
+        self.deallocs.store(0, Ordering::Relaxed);
+        self.bytes_alloc.store(0, Ordering::Relaxed);
+        self.bytes_freed.store(0, Ordering::Relaxed);
+    }
+
+    fn harvest(&self) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            deallocs: self.deallocs.load(Ordering::Relaxed),
+            bytes_alloc: self.bytes_alloc.load(Ordering::Relaxed),
+            bytes_freed: self.bytes_freed.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl PoolCore {
@@ -170,8 +216,9 @@ impl PoolCore {
 fn worker_loop(core: Arc<PoolCore>, idx: usize) {
     let slot = &core.slots[idx];
     let _ = slot.thread.set(std::thread::current());
-    // Warm drain-buffer scratch, lent to every job this worker runs.
-    let mut scratch: Vec<Envelope> = Vec::new();
+    // Warm per-rank container scratch, lent to every job this worker
+    // runs.
+    let mut scratch = RankScratch::default();
     'outer: loop {
         let job = 'take: loop {
             if let Some(j) = slot.queue.lock().pop_front() {
@@ -212,7 +259,9 @@ fn worker_loop(core: Arc<PoolCore>, idx: usize) {
         // Ordering matters: the call consumes the job, dropping its
         // captured `Arc<Shared>` before the completion signal below —
         // `run` relies on that for exclusive access at the next reset.
+        let before = allocstats::snapshot();
         let _ = std::panic::catch_unwind(AssertUnwindSafe(|| job(&mut scratch)));
+        core.alloc.add(&allocstats::snapshot().since(&before));
         let done = core.done.fetch_add(1, Ordering::AcqRel) + 1;
         if done >= core.target.load(Ordering::Acquire) {
             // Possibly the last job of the run: wake the caller if it
@@ -269,6 +318,7 @@ impl UniversePool {
             target: AtomicUsize::new(0),
             waiter: Mutex::new(None),
             spin: if cores > n { POOL_SPIN } else { 0 },
+            alloc: AllocTally::default(),
         });
         let workers = (0..n)
             .map(|i| {
@@ -342,6 +392,7 @@ impl UniversePool {
         let spawned = Cell::new(0usize);
         self.core.done.store(0, Ordering::Release);
         self.core.target.store(0, Ordering::Release);
+        self.core.alloc.reset();
         let start = Instant::now();
         let mut hung = false;
 
@@ -358,8 +409,8 @@ impl UniversePool {
             // particular the `SchedPoint::Enter` step comes first, so a
             // pooled worker enters the schedule exactly as a fresh
             // thread did.
-            let job: Box<dyn FnOnce(&mut Vec<Envelope>) + Send + '_> =
-                Box::new(move |scratch: &mut Vec<Envelope>| {
+            let job: Box<dyn FnOnce(&mut RankScratch) + Send + '_> =
+                Box::new(move |scratch: &mut RankScratch| {
                     if let Some(s) = &shared.sched {
                         // First scheduling point: ranks start
                         // serialized, not in racy submission order.
@@ -369,9 +420,9 @@ impl UniversePool {
                     }
                     let sched = shared.sched.clone();
                     let buf = std::mem::take(scratch);
-                    let mut proc = Process::with_drain_buf(me, gen, shared, buf);
+                    let mut proc = Process::with_scratch(me, gen, shared, buf);
                     let res = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut proc)));
-                    *scratch = proc.recycle_drain_buf();
+                    *scratch = proc.recycle_scratch();
                     if let Some(s) = &sched {
                         // The thread is done scheduling-wise whatever
                         // the outcome (including panics): release the
@@ -405,7 +456,7 @@ impl UniversePool {
             // and a worker only counts a job complete after the job
             // closure (and thus every use of those borrows) returned.
             let job: Job = unsafe {
-                std::mem::transmute::<Box<dyn FnOnce(&mut Vec<Envelope>) + Send + '_>, Job>(job)
+                std::mem::transmute::<Box<dyn FnOnce(&mut RankScratch) + Send + '_>, Job>(job)
             };
             if kick {
                 self.core.submit(me, job);
@@ -504,6 +555,7 @@ impl UniversePool {
             generations,
             park_timeouts,
             handoff,
+            alloc: self.core.alloc.harvest(),
         };
         // Keep the universe state warm for the next run.
         self.shared = Some(shared);

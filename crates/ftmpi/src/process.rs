@@ -34,7 +34,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use faultsim::{ChoiceKind, Decision, Hook, HookKind, SchedPoint, StepOutcome};
 
@@ -79,6 +79,22 @@ pub struct WaitAny {
     pub result: Result<Completion>,
 }
 
+/// Worker-owned per-rank scratch: every growable container a
+/// [`Process`] needs, kept warm across incarnations and runs on the
+/// same pool worker (DESIGN.md §8.10). Constructing a process from a
+/// scratch that has seen one run allocates nothing: each container is
+/// cleared in place, capacity retained.
+#[derive(Default)]
+pub(crate) struct RankScratch {
+    drain_buf: Vec<Envelope>,
+    engine: MatchEngine,
+    reqs: ReqTable,
+    send_seq: Vec<u64>,
+    encode_buf: BytesMut,
+    comms: Vec<CommData>,
+    ctx_map: HashMap<ContextId, usize>,
+}
+
 /// Per-rank process handle. Not `Sync`: owned by its rank's thread.
 pub struct Process {
     me: WorldRank,
@@ -92,6 +108,9 @@ pub struct Process {
     /// Reusable drain buffer for [`Fabric::drain_into`]: one mailbox
     /// drain per progress pass, zero steady-state allocations.
     drain_buf: Vec<Envelope>,
+    /// Reusable typed-send encode buffer: [`Process::send`] encodes
+    /// into it, then copies into a pooled payload buffer.
+    encode_buf: BytesMut,
     /// Whether this rank already snapshot its parked requests into the
     /// trace after a logical-watchdog abort (`Event::Blocked` is a
     /// once-per-rank dump, but every subsequent `sched_step` observes
@@ -100,42 +119,66 @@ pub struct Process {
 }
 
 impl Process {
-    /// Construct the rank-`me` process of a universe, seeded with a
-    /// recycled drain buffer so a pooled worker's steady-state drain
-    /// capacity survives across incarnations and runs (see
-    /// `UniversePool`; pass `Vec::new()` when there is nothing to
-    /// recycle).
-    pub(crate) fn with_drain_buf(
+    /// Construct the rank-`me` process of a universe from a recycled
+    /// [`RankScratch`], so a pooled worker's containers (drain buffer,
+    /// match engine, request table, communicator table, encode
+    /// scratch) survive across incarnations and runs (see
+    /// `UniversePool`; pass `RankScratch::default()` when there is
+    /// nothing to recycle).
+    pub(crate) fn with_scratch(
         me: WorldRank,
         gen: u32,
         shared: Arc<Shared>,
-        mut drain_buf: Vec<Envelope>,
+        scratch: RankScratch,
     ) -> Self {
+        let RankScratch {
+            mut drain_buf,
+            mut engine,
+            mut reqs,
+            mut send_seq,
+            mut encode_buf,
+            mut comms,
+            mut ctx_map,
+        } = scratch;
         drain_buf.clear();
-        let n = shared.size;
-        let world = CommData::new(WORLD_CTX, Group::world(n), me);
-        let mut ctx_map = HashMap::new();
+        engine.reset();
+        reqs.reset();
+        send_seq.clear();
+        send_seq.resize(shared.size, 0);
+        encode_buf.clear();
+        comms.clear();
+        // The world group is shared universe state (an `Arc` clone),
+        // not rebuilt per rank per run.
+        comms.push(CommData::new(WORLD_CTX, shared.world_group.clone(), me));
+        ctx_map.clear();
         ctx_map.insert(WORLD_CTX, 0);
         Process {
             me,
             gen,
             shared,
-            comms: vec![world],
+            comms,
             ctx_map,
-            reqs: ReqTable::new(),
-            engine: MatchEngine::new(),
-            send_seq: vec![0; n],
+            reqs,
+            engine,
+            send_seq,
             drain_buf,
+            encode_buf,
             blocked_dumped: false,
         }
     }
 
-    /// Hand the drain buffer back for reuse by the next incarnation or
+    /// Hand every reusable container back for the next incarnation or
     /// run on this worker thread.
-    pub(crate) fn recycle_drain_buf(&mut self) -> Vec<Envelope> {
-        let mut buf = std::mem::take(&mut self.drain_buf);
-        buf.clear();
-        buf
+    pub(crate) fn recycle_scratch(&mut self) -> RankScratch {
+        RankScratch {
+            drain_buf: std::mem::take(&mut self.drain_buf),
+            engine: std::mem::take(&mut self.engine),
+            reqs: std::mem::take(&mut self.reqs),
+            send_seq: std::mem::take(&mut self.send_seq),
+            encode_buf: std::mem::take(&mut self.encode_buf),
+            comms: std::mem::take(&mut self.comms),
+            ctx_map: std::mem::take(&mut self.ctx_map),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -564,8 +607,15 @@ impl Process {
     }
 
     /// Blocking send of a typed value.
+    ///
+    /// The payload is encoded into this process's reusable scratch and
+    /// backed by the universe's payload pool, so a steady-state typed
+    /// send allocates nothing (DESIGN.md §8.10).
     pub fn send<T: Datatype>(&mut self, comm: Comm, dst: CommRank, tag: Tag, value: &T) -> Result<()> {
-        self.send_bytes(comm, dst, tag, value.to_bytes())
+        self.encode_buf.clear();
+        value.encode(&mut self.encode_buf);
+        let payload = self.shared.paypool.make(&self.encode_buf);
+        self.send_bytes(comm, dst, tag, payload)
     }
 
     /// Nonblocking send (eager: the returned request is already
@@ -701,7 +751,9 @@ impl Process {
             ));
         }
         buf[..data.len()].copy_from_slice(&data);
-        Ok((data.len(), status))
+        let len = data.len();
+        self.recycle_payload(data);
+        Ok((len, status))
     }
 
     /// Blocking receive of a typed value: `(value, status)`.
@@ -715,7 +767,9 @@ impl Process {
         tag: impl Into<TagSel>,
     ) -> Result<(T, Status)> {
         let (data, status) = self.recv_bytes(comm, src, tag)?;
-        Ok((T::from_bytes(&data)?, status))
+        let value = T::from_bytes(&data)?;
+        self.recycle_payload(data);
+        Ok((value, status))
     }
 
     /// Combined send + receive (deadlock-free: the send is eager).
@@ -731,7 +785,22 @@ impl Process {
         let req = self.irecv(comm, src, recv_tag)?;
         self.send(comm, dst, send_tag, value)?;
         let c = self.wait(req)?;
-        Ok((U::from_bytes(&c.data)?, c.status))
+        let value = U::from_bytes(&c.data)?;
+        self.recycle_payload(c.data);
+        Ok((value, c.status))
+    }
+
+    /// Return a received payload's backing buffer to the universe's
+    /// payload pool (DESIGN.md §8.10). Purely an optimization and
+    /// always safe: a buffer still referenced anywhere else (a clone,
+    /// an undelivered envelope) is refused by the pool and freed
+    /// normally when its last handle drops. Call it once the payload
+    /// is decoded or copied out — the typed receive paths do this
+    /// automatically; callers of [`Process::recv_bytes`] /
+    /// [`Process::waitany`] that drop the `Completion::data` may hand
+    /// it back here instead.
+    pub fn recycle_payload(&self, payload: Bytes) {
+        self.shared.paypool.recycle(payload);
     }
 
     // ------------------------------------------------------------------

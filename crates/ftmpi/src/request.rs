@@ -91,8 +91,19 @@ pub(crate) struct ReqTable {
 }
 
 impl ReqTable {
+    #[allow(dead_code)] // unit tests construct engines directly
     pub(crate) fn new() -> Self {
         ReqTable::default()
+    }
+
+    /// Drop every slot while keeping the table's capacity — the reuse
+    /// hook for pooled workers recycling one table across incarnations
+    /// and runs. `gen` deliberately keeps counting: a `Request` handle
+    /// leaked across a reset then names a generation no slot will ever
+    /// carry again, so it errors instead of aliasing a new request.
+    pub(crate) fn reset(&mut self) {
+        self.slots.clear();
+        self.free.clear();
     }
 
     /// Number of live (pending or done-but-unconsumed) requests.

@@ -20,10 +20,14 @@ use std::time::Duration;
 
 use faultsim::{AsyncSchedule, FaultPlan, HandoffStats, Injector, SchedHook};
 
+use allocstats::AllocStats;
+
 use crate::coord::CommBoard;
 use crate::detector::FailureRegistry;
 use crate::error::{RankOutcome, Result};
+use crate::group::Group;
 use crate::nbc::BarrierBoard;
+use crate::paypool::PayloadPool;
 use crate::process::Process;
 use crate::rank::WorldRank;
 use crate::trace::{Event, Trace, TimedEvent};
@@ -48,6 +52,13 @@ pub(crate) struct Shared {
     /// Deterministic-simulation scheduler, if this universe is driven
     /// by one (see `faultsim::sched` and the `dst` crate).
     pub sched: Option<Arc<dyn SchedHook>>,
+    /// Recycled payload allocations, shared by every rank's sends and
+    /// retained across runs (DESIGN.md §8.10).
+    pub paypool: PayloadPool,
+    /// The world group, built once per universe: `Group` is an
+    /// `Arc<Vec<_>>`, so per-run `Process` construction clones a
+    /// handle instead of re-collecting `0..n` every incarnation.
+    pub world_group: Group,
 }
 
 impl Shared {
@@ -70,6 +81,8 @@ impl Shared {
             bboard: BarrierBoard::new(),
             trace: Arc::new(Trace::new(trace)),
             sched,
+            paypool: PayloadPool::new(),
+            world_group: Group::world(n),
         }
     }
 
@@ -114,6 +127,11 @@ impl Shared {
             None => self.trace = Arc::new(Trace::new(trace)),
         }
         self.sched = sched;
+        // `paypool` and `world_group` deliberately survive the reset:
+        // recycled payload buffers and the shared membership Vec carry
+        // no run-observable state (buffer *contents* are overwritten
+        // before any Bytes view exposes them), and keeping them warm
+        // is the point of pooling.
     }
 
     /// Wake every rank parked on the fabric — unless this universe is
@@ -257,6 +275,13 @@ pub struct RunReport<T> {
     /// (zeros in wall-clock mode), with `park_safety_timeouts` mirrored
     /// from the transport. See [`faultsim::HandoffStats`].
     pub handoff: HandoffStats,
+    /// Heap-allocation traffic of the rank workers' job bodies during
+    /// this run, summed across ranks (the caller thread's share —
+    /// schedule derivation, report assembly — is the caller's to
+    /// measure). All zeros unless the final binary installs
+    /// [`allocstats::StatsAlloc`] as its global allocator; the `dst`
+    /// harness does (DESIGN.md §8.10).
+    pub alloc: AllocStats,
 }
 
 impl<T> RunReport<T> {

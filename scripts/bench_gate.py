@@ -14,6 +14,14 @@ The gate catches cliffs (a lost fast path, an accidental debug build,
 a serialization bug in the sweep engine), not percent-level drift; the
 committed BENCH_dst.json refreshed on perf PRs is the precise record.
 
+Series whose id starts with ``allocs_per_schedule`` invert the rule:
+they record steady-state heap allocations per schedule (DESIGN.md
+§8.10), which is *lower*-is-better and deterministic (no measurement
+noise), so the bound is tight — the series fails when the current
+value exceeds ``alloc-ceiling x baseline`` (default 1.1x). A new
+allocation in the simulation hot path moves this immediately; noise
+cannot.
+
 Series present in only one file are reported but never fail the gate:
 the committed baseline may trail a freshly added series, and a renamed
 series should fail review, not CI.
@@ -47,6 +55,13 @@ def main():
         default=0.8,
         help="fail a series below tolerance x baseline rate (default 0.8)",
     )
+    ap.add_argument(
+        "--alloc-ceiling",
+        type=float,
+        default=1.1,
+        help="fail an allocs_per_schedule series above "
+        "alloc-ceiling x baseline (default 1.1)",
+    )
     args = ap.parse_args()
 
     cur = load(args.current)
@@ -71,22 +86,34 @@ def main():
             continue
         b = base_results[series]["rate"]
         c = cur_results[series]["rate"]
-        floor = args.tolerance * b
         ratio = c / b if b > 0 else float("inf")
-        verdict = "FAIL" if c < floor else "ok"
-        print(
-            f"  {verdict:>4}  {series}: {c:.1f} vs baseline {b:.1f} "
-            f"({ratio:.2f}x, floor {floor:.1f})"
-        )
-        if c < floor:
+        if series.startswith("allocs_per_schedule"):
+            # Lower-is-better, deterministic: tight ceiling.
+            ceiling = args.alloc_ceiling * b
+            bad = c > ceiling
+            verdict = "FAIL" if bad else "ok"
+            print(
+                f"  {verdict:>4}  {series}: {c:.1f} vs baseline {b:.1f} "
+                f"({ratio:.2f}x, ceiling {ceiling:.1f})"
+            )
+        else:
+            floor = args.tolerance * b
+            bad = c < floor
+            verdict = "FAIL" if bad else "ok"
+            print(
+                f"  {verdict:>4}  {series}: {c:.1f} vs baseline {b:.1f} "
+                f"({ratio:.2f}x, floor {floor:.1f})"
+            )
+        if bad:
             failed.append(series)
     for series in sorted(set(cur_results) - set(base_results)):
         print(f"  skip  {series}: not in baseline")
 
     if failed:
         sys.exit(
-            f"bench gate: {len(failed)} series regressed past "
-            f"{args.tolerance}x baseline: {', '.join(failed)}"
+            f"bench gate: {len(failed)} series regressed (throughput floor "
+            f"{args.tolerance}x, alloc ceiling {args.alloc_ceiling}x): "
+            f"{', '.join(failed)}"
         )
     print(f"bench gate: all {len(base_results)} series within tolerance")
 

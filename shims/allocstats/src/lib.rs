@@ -1,0 +1,178 @@
+//! Per-thread heap-allocation counters behind a wrapping global
+//! allocator.
+//!
+//! [`StatsAlloc`] forwards every call to [`std::alloc::System`] and
+//! bumps four thread-local counters: allocations, deallocations, bytes
+//! allocated, bytes freed. Installing it is the *consumer's* choice:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: allocstats::StatsAlloc = allocstats::StatsAlloc;
+//! ```
+//!
+//! Code that only *reads* the counters ([`snapshot`] /
+//! [`AllocStats::since`]) works in any binary: without the allocator
+//! installed the counters simply stay zero, so instrumentation can be
+//! threaded through a library unconditionally and lights up wherever a
+//! final binary opts in (the `dst` crate does; see DESIGN.md §8.10).
+//!
+//! The counters are thread-local on purpose — attribution, not
+//! accounting. A schedule executed across N rank threads is measured
+//! by snapshotting each thread around its own slice of the work and
+//! summing the deltas, which needs no synchronization on the allocation
+//! hot path: the counters are plain `Cell`s, const-initialized so the
+//! first allocation on a fresh thread cannot recurse into lazy TLS
+//! setup, and never dropped (no TLS destructor ordering hazards).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES_ALLOC: Cell<u64> = const { Cell::new(0) };
+    static BYTES_FREED: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>, by: u64) {
+    // `try_with`: during thread teardown TLS may already be gone; the
+    // allocator must keep working (uncounted) rather than panic.
+    let _ = cell.try_with(|c| c.set(c.get().wrapping_add(by)));
+}
+
+/// A [`GlobalAlloc`] that counts into thread-local counters and
+/// delegates to [`System`].
+pub struct StatsAlloc;
+
+// SAFETY: every method delegates verbatim to `System`, which upholds
+// the GlobalAlloc contract; the counter bumps touch only plain `Cell`s
+// and never allocate, so there is no reentrancy.
+unsafe impl GlobalAlloc for StatsAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            bump(&ALLOCS, 1);
+            bump(&BYTES_ALLOC, layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        bump(&DEALLOCS, 1);
+        bump(&BYTES_FREED, layout.size() as u64);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            bump(&ALLOCS, 1);
+            bump(&BYTES_ALLOC, layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // A realloc is one free + one alloc for counting purposes
+            // (grow-in-place still pays a counter bump; the counters
+            // measure allocator traffic, not page movement).
+            bump(&ALLOCS, 1);
+            bump(&BYTES_ALLOC, new_size as u64);
+            bump(&DEALLOCS, 1);
+            bump(&BYTES_FREED, layout.size() as u64);
+        }
+        p
+    }
+}
+
+/// A snapshot of (or delta between) the calling thread's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Heap allocations (including the alloc half of reallocs).
+    pub allocs: u64,
+    /// Heap deallocations (including the free half of reallocs).
+    pub deallocs: u64,
+    /// Bytes requested across all allocations.
+    pub bytes_alloc: u64,
+    /// Bytes returned across all deallocations.
+    pub bytes_freed: u64,
+}
+
+impl AllocStats {
+    /// The delta from `earlier` to `self` (both taken on the same
+    /// thread, `earlier` first). Wrapping, like the counters.
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            deallocs: self.deallocs.wrapping_sub(earlier.deallocs),
+            bytes_alloc: self.bytes_alloc.wrapping_sub(earlier.bytes_alloc),
+            bytes_freed: self.bytes_freed.wrapping_sub(earlier.bytes_freed),
+        }
+    }
+
+    /// Accumulate another delta into this one (summing per-thread
+    /// deltas into a per-schedule or per-sweep total).
+    pub fn add(&mut self, other: &AllocStats) {
+        self.allocs = self.allocs.wrapping_add(other.allocs);
+        self.deallocs = self.deallocs.wrapping_add(other.deallocs);
+        self.bytes_alloc = self.bytes_alloc.wrapping_add(other.bytes_alloc);
+        self.bytes_freed = self.bytes_freed.wrapping_add(other.bytes_freed);
+    }
+
+    /// True when no counter moved — either genuinely allocation-free,
+    /// or [`StatsAlloc`] is not the installed global allocator.
+    pub fn is_zero(&self) -> bool {
+        *self == AllocStats::default()
+    }
+}
+
+/// Read the calling thread's counters.
+pub fn snapshot() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.with(Cell::get),
+        deallocs: DEALLOCS.with(Cell::get),
+        bytes_alloc: BYTES_ALLOC.with(Cell::get),
+        bytes_freed: BYTES_FREED.with(Cell::get),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The shim's own test binary does not install the allocator (that
+    // would force counting overhead on every crate that merely links
+    // the lib); arithmetic is tested directly, live counting is pinned
+    // by the consumer (`crates/dst/tests/alloc_ceiling.rs`).
+
+    #[test]
+    fn since_and_add_are_inverse_ish() {
+        let a = AllocStats { allocs: 10, deallocs: 4, bytes_alloc: 640, bytes_freed: 128 };
+        let b = AllocStats { allocs: 25, deallocs: 19, bytes_alloc: 1664, bytes_freed: 1152 };
+        let d = b.since(&a);
+        assert_eq!(d, AllocStats { allocs: 15, deallocs: 15, bytes_alloc: 1024, bytes_freed: 1024 });
+        let mut sum = a;
+        sum.add(&d);
+        assert_eq!(sum, b);
+    }
+
+    #[test]
+    fn snapshot_without_installation_is_stable() {
+        let before = snapshot();
+        let v: Vec<u64> = (0..64).collect();
+        drop(v);
+        let after = snapshot();
+        // Not installed in this test binary: counters cannot move.
+        assert_eq!(after.since(&before), AllocStats::default());
+        assert!(after.since(&before).is_zero());
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(AllocStats::default().is_zero());
+        assert!(!AllocStats { allocs: 1, ..Default::default() }.is_zero());
+    }
+}

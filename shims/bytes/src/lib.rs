@@ -1,42 +1,65 @@
 //! Offline shim: the subset of the `bytes` crate this workspace uses.
 //! `Bytes` is a cheaply-clonable immutable byte buffer; `BytesMut` is a
-//! growable builder that freezes into one. Zero-copy sub-slicing is not
-//! reproduced (nothing here relies on it) — clones share the same
-//! allocation via `Arc`, which is the property the transport needs.
+//! growable builder that freezes into one. Like the real crate,
+//! sub-slicing is zero-copy: a `Bytes` is a view `(Arc<[u8]>, range)`
+//! into a shared allocation, so `slice()` and `clone()` never touch the
+//! heap. Two shim-only extensions ([`Bytes::from_arc_prefix`],
+//! [`Bytes::into_arc`]) expose the backing allocation so `ftmpi`'s
+//! payload pool can recycle buffers across messages (DESIGN.md §8.10).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// Cheaply-clonable immutable byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bytes(Arc<[u8]>);
+/// The one empty backing allocation every empty `Bytes` shares.
+/// `Arc<[u8]>` always heap-allocates its header, even for zero bytes —
+/// and empty payloads are minted on every failure notification
+/// (`Completion { data: Bytes::new() }`), so this would otherwise be a
+/// steady-state allocation per simulated failure event.
+fn empty_arc() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
+/// Cheaply-clonable immutable byte buffer: a range view into a shared
+/// allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        let data = empty_arc();
+        Bytes { data, start: 0, end: 0 }
     }
 
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes(Arc::from(bytes))
+        Bytes::copy_from_slice(bytes)
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        if data.is_empty() {
+            return Bytes::new();
+        }
+        Bytes { data: Arc::from(data), start: 0, end: data.len() }
     }
 
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_ref().to_vec()
     }
 
-    /// Sub-range as a new buffer. The real crate is zero-copy here;
-    /// this shim copies, which nothing in the workspace depends on.
+    /// Sub-range as a new view of the same allocation — zero-copy,
+    /// like the real crate. Panics when the range is out of bounds,
+    /// matching slice-indexing semantics.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -47,29 +70,93 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.0.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes(Arc::from(&self.0[start..end]))
+        assert!(
+            start <= end && end <= self.len(),
+            "slice range {start}..{end} out of bounds for Bytes of length {}",
+            self.len()
+        );
+        Bytes { data: self.data.clone(), start: self.start + start, end: self.start + end }
+    }
+
+    /// Shim extension: view the first `len` bytes of a shared
+    /// allocation without copying. The payload pool writes into a
+    /// uniquely-held class buffer (via [`Arc::get_mut`]) and hands it
+    /// out through this constructor.
+    pub fn from_arc_prefix(data: Arc<[u8]>, len: usize) -> Bytes {
+        assert!(len <= data.len(), "prefix {len} longer than the allocation {}", data.len());
+        Bytes { data, start: 0, end: len }
+    }
+
+    /// Shim extension: surrender this view's backing allocation. The
+    /// payload pool recycles it when it turns out to be the last
+    /// handle (`Arc::get_mut` succeeds); otherwise the clone dropped
+    /// here just decrements the refcount.
+    pub fn into_arc(self) -> Arc<[u8]> {
+        self.data
+    }
+
+    /// Shim extension: strong count of the backing allocation —
+    /// `1` means no other `Bytes` (or pool handle) can observe it.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+// Comparisons, ordering and hashing see the *visible* bytes, never the
+// backing allocation: two views are equal iff their slices are (the
+// derive on the old `Arc<[u8]>` representation compared contents too,
+// so this preserves observable behaviour).
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -80,19 +167,23 @@ impl std::fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        if v.is_empty() {
+            return Bytes::new();
+        }
+        let end = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes(Arc::from(v))
+        Bytes::copy_from_slice(v)
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes(Arc::from(v.as_bytes()))
+        Bytes::copy_from_slice(v.as_bytes())
     }
 }
 
@@ -114,7 +205,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.as_ref().iter()
     }
 }
 
@@ -137,6 +228,12 @@ impl BytesMut {
 
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+
+    /// Empty the buffer, keeping its capacity — the reuse hook the
+    /// encode scratch in `ftmpi::Process` leans on.
+    pub fn clear(&mut self) {
+        self.0.clear();
     }
 
     pub fn freeze(self) -> Bytes {
@@ -219,5 +316,66 @@ mod tests {
     fn debug_escapes() {
         let b = Bytes::from_static(b"a\xff");
         assert_eq!(format!("{b:?}"), "b\"a\\xff\"");
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a: Bytes = (0u8..32).collect::<Vec<_>>().into();
+        let s = a.slice(4..12);
+        assert_eq!(&s[..], &(4u8..12).collect::<Vec<_>>()[..]);
+        assert_eq!(s.as_ptr(), unsafe { a.as_ptr().add(4) }, "slice must share the allocation");
+        // Slices of slices compose.
+        let ss = s.slice(2..=3);
+        assert_eq!(&ss[..], &[6, 7]);
+        assert_eq!(ss.as_ptr(), unsafe { a.as_ptr().add(6) });
+        // Open-ended ranges.
+        assert_eq!(&a.slice(..3)[..], &[0, 1, 2]);
+        assert_eq!(a.slice(30..).len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        let a: Bytes = vec![0u8; 4].into();
+        let _ = a.slice(2..9);
+    }
+
+    #[test]
+    fn comparisons_see_the_view_not_the_allocation() {
+        let a: Bytes = vec![1u8, 2, 3, 4].into();
+        let b: Bytes = vec![0u8, 1, 2, 3, 4, 5].into();
+        assert_eq!(a, b.slice(1..5));
+        assert_ne!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |x: &Bytes| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b.slice(1..5)));
+    }
+
+    #[test]
+    fn empty_bytes_share_one_allocation() {
+        let a = Bytes::new();
+        let b = Bytes::default();
+        let c = Bytes::copy_from_slice(&[]);
+        assert!(a.is_empty() && b.is_empty() && c.is_empty());
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a.as_ptr(), c.as_ptr());
+    }
+
+    #[test]
+    fn arc_prefix_round_trip() {
+        let arc: Arc<[u8]> = Arc::from(&[7u8; 16][..]);
+        let b = Bytes::from_arc_prefix(arc.clone(), 5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], &[7u8; 5][..]);
+        assert_eq!(b.ref_count(), 2);
+        drop(arc);
+        assert_eq!(b.ref_count(), 1);
+        let back = b.into_arc();
+        assert_eq!(back.len(), 16, "into_arc returns the full allocation");
     }
 }
