@@ -195,7 +195,7 @@ fn main() {
         let start = Instant::now();
         let mut allocs = 0u64;
         for s in 0..alloc_window {
-            allocs += runner.run_seed_quiet(s, &cfg).alloc.allocs;
+            allocs += runner.run_seed_quiet(s, &cfg).stats.alloc.allocs;
         }
         let elapsed = start.elapsed();
         let per_schedule = allocs as f64 / alloc_window as f64;

@@ -1,0 +1,799 @@
+//! Coverage-guided schedule fuzzing (`dst fuzz`, DESIGN.md §8.11).
+//!
+//! A blind sweep (`dst explore`) walks seeds in order; whether seed
+//! N+1 exercises anything seed N didn't is luck. The fuzzer closes the
+//! loop: every run's [`CoverageSet`] of `(rank, decision-kind,
+//! protocol-phase)` edges is unioned into a global edge set, schedules
+//! that contributed a **novel** edge join the corpus, and the budget
+//! is spent mutating corpus entries instead of drawing fresh seeds —
+//! with *energy* weighted toward entries that found new coverage
+//! recently, the AFL-style schedule that keeps the search at the
+//! frontier.
+//!
+//! ### Mutators
+//!
+//! | mutator | what it changes |
+//! |---|---|
+//! | seed nudge | flips one bit of the scheduler seed (new interleaving, same kills) |
+//! | kill-site shift | moves one kill a few hook occurrences, or rehooks it |
+//! | victim swap | re-targets one kill at a different (still distinct) rank |
+//! | mask flip | toggles one drain index in the delay mask (`None` ⇄ sparse mask) |
+//! | cross-shape splice | combines the kill lists of two corpus entries |
+//!
+//! Because corpus entries originate from *all seven* [`KillShape`]s
+//! during the seeding phase, the splice mutator composes failure
+//! patterns no single shape derives — e.g. a root-chain prefix with a
+//! validate-window kill.
+//!
+//! ### Determinism
+//!
+//! Everything is a pure function of `(FuzzCfg, ScenarioCfg, corpus
+//! file)`: one master [`SplitMix64`] stream drives seeding, parent
+//! selection and mutation; the corpus is an order-preserving `Vec`;
+//! the global edge union is a `BTreeSet`. Two runs with the same
+//! inputs produce byte-identical decision logs, corpus files, and
+//! coverage signatures — `tests/fuzz_determinism.rs` referees.
+//!
+//! Mutated schedules are no longer derivable from a single seed, so a
+//! failure record carries the *full* schedule (kills + mask) and the
+//! repro is the fuzz invocation itself.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use faultsim::{CoverageStats, HookKind, RunStats};
+
+use crate::oracle::check_all;
+use crate::scenario::{Kill, KillShape, Retention, ScenarioCfg, Schedule, SeedRunner};
+use crate::sched::SplitMix64;
+use crate::sweep::CorpusWrite;
+
+/// Stream salt: the fuzzer's master PRNG never collides with the
+/// scheduler or kill-derivation streams of any seed it runs.
+const FUZZ_SALT: u64 = 0x6675_7A7A_6572_2121;
+
+/// Hooks the kill-site shift and victim swap mutators draw from —
+/// the ordinary protocol points plus the validate window (the fuzzer
+/// may move a kill *into* the consensus, something only the Validate
+/// shape's derivation does).
+const MUTATE_HOOKS: [HookKind; 5] = [
+    HookKind::Tick,
+    HookKind::AfterSend,
+    HookKind::AfterRecvComplete,
+    HookKind::BeforeValidate,
+    HookKind::AfterValidate,
+];
+
+/// Drain-call window mask flips operate in — matches the masked
+/// shape's derivation window, so flipped indices always land where
+/// kills do.
+const MASK_WINDOW: u64 = 300;
+
+/// Maximum kills a mutated schedule may carry (the deepest shape —
+/// cascade — derives up to 4; splice respects the same bound).
+const MAX_KILLS: usize = 4;
+
+/// Peak mutation energy: a corpus entry that just found novel edges is
+/// picked this many times more often than a fully stale one.
+const ENERGY_MAX: u64 = 16;
+
+/// Executions per energy half-life: an entry's energy halves every
+/// this many runs since it last contributed a novel edge.
+const ENERGY_HALF_LIFE: u64 = 256;
+
+/// How the fuzzer spends its budget.
+#[derive(Debug, Clone)]
+pub struct FuzzCfg {
+    /// Master seed: fixes seeding, parent selection and mutations.
+    pub seed: u64,
+    /// Total schedule executions (seeding + mutation).
+    pub budget: u64,
+    /// Cap on retained failure records (all failures are counted).
+    pub max_failures: usize,
+    /// Evolved-corpus path: loaded (if the file exists) before
+    /// seeding, written back after the campaign by the CLI.
+    pub corpus: Option<PathBuf>,
+}
+
+impl Default for FuzzCfg {
+    fn default() -> Self {
+        FuzzCfg { seed: 0, budget: 1000, max_failures: 100, corpus: None }
+    }
+}
+
+impl FuzzCfg {
+    /// Reject degenerate fuzz configurations (single validation site,
+    /// used by the CLI and the library entry point).
+    pub fn validate(&self) -> Result<(), FuzzError> {
+        if self.budget == 0 {
+            return Err(FuzzError::InvalidConfig("fuzz budget must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Ways a fuzz campaign can fail to start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzError {
+    /// The fuzz or scenario configuration is degenerate.
+    InvalidConfig(String),
+    /// The corpus file could not be read or parsed.
+    Corpus(String),
+}
+
+impl std::fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FuzzError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            FuzzError::Corpus(m) => write!(f, "corpus error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FuzzError {}
+
+/// One corpus member: a schedule that contributed at least one novel
+/// coverage edge when it ran.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The coverage-novel schedule.
+    pub schedule: Schedule,
+    /// Novel edges this entry contributed when first run.
+    pub novel_edges: u64,
+    /// Execution index at which this entry (or a mutant of it) last
+    /// contributed a novel edge — the energy clock.
+    pub last_novel: u64,
+}
+
+/// A failure found by the fuzzer. Mutated schedules are not
+/// seed-derivable, so the full schedule is retained.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The failing schedule (seed + explicit kills + mask).
+    pub schedule: Schedule,
+    /// Violated oracle names, deduplicated, in oracle order.
+    pub oracles: Vec<String>,
+    /// Full violation messages.
+    pub violations: Vec<String>,
+    /// Whether the run hung (logical-step budget exhausted).
+    pub hung: bool,
+    /// One-line wait-for graph for hung runs (see `dst replay --triage`).
+    pub triage: String,
+}
+
+impl FuzzFailure {
+    /// One-line record: schedule + verdict + repro note.
+    pub fn line(&self, cfg: &FuzzCfg, scenario: &ScenarioCfg) -> String {
+        let mut line = format!(
+            "schedule {} oracles={}",
+            render_schedule(&self.schedule),
+            self.oracles.join(",")
+        );
+        if self.hung {
+            line.push_str(" hung");
+        }
+        if !self.triage.is_empty() {
+            line.push_str(&format!(" triage=[{}]", self.triage));
+        }
+        line.push_str(&format!(
+            " repro=\"dst fuzz --seed {:#x} --budget {} --ranks {} --iters {}{}\"",
+            cfg.seed,
+            cfg.budget,
+            scenario.ranks,
+            scenario.max_iter,
+            if scenario.shape != KillShape::Pair {
+                format!(" --shape {}", scenario.shape)
+            } else {
+                String::new()
+            },
+        ));
+        line
+    }
+}
+
+/// What a fuzz campaign found.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Master seed the campaign ran under.
+    pub seed: u64,
+    /// Schedule executions performed.
+    pub executed: u64,
+    /// Executions spent in the seeding phase (shape-derived seeds).
+    pub seeded: u64,
+    /// Executions that contributed at least one novel coverage edge.
+    pub novel: u64,
+    /// Runs with every applicable oracle green.
+    pub green: u64,
+    /// Runs with at least one violation.
+    pub failing: u64,
+    /// Runs that hung.
+    pub hung: u64,
+    /// The evolved corpus (every coverage-novel schedule, in discovery
+    /// order — loaded entries that re-proved novel first).
+    pub corpus: Vec<CorpusEntry>,
+    /// Every distinct coverage edge discovered, in sorted order (the
+    /// exact union behind `stats.coverage`; tests assert subset
+    /// relations against it).
+    pub discovered: BTreeSet<u64>,
+    /// Retained failure records (bounded by `FuzzCfg::max_failures`).
+    pub failures: Vec<FuzzFailure>,
+    /// Failures beyond the cap — counted, never silently dropped.
+    pub dropped_failures: u64,
+    /// Aggregated per-run statistics; `coverage` is the exact global
+    /// union (distinct edges + order-independent signature).
+    pub stats: RunStats,
+    /// Wall-clock duration (excludes corpus writing).
+    pub elapsed: Duration,
+}
+
+impl FuzzReport {
+    /// Distinct coverage edges the campaign discovered.
+    pub fn edges(&self) -> u64 {
+        self.stats.coverage.edges
+    }
+
+    /// Order-independent digest of the discovered edge set.
+    pub fn signature(&self) -> u64 {
+        self.stats.coverage.signature
+    }
+
+    /// Render the evolved corpus, one parseable line per entry.
+    pub fn corpus_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!("# dst fuzz corpus v1 edges={:#x}", self.signature())];
+        lines.extend(
+            self.corpus
+                .iter()
+                .map(|e| format!("schedule {} novel={}", render_schedule(&e.schedule), e.novel_edges)),
+        );
+        lines
+    }
+
+    /// Write the evolved corpus (same [`CorpusWrite`] surface as
+    /// [`crate::sweep::SweepReport::write_corpus`]). Unlike the
+    /// failure corpus, an evolved corpus is written even when no run
+    /// failed — it is the campaign's accumulated knowledge.
+    pub fn write_corpus(&self, path: &Path) -> std::io::Result<CorpusWrite> {
+        let lines = self.corpus_lines();
+        crate::sweep::write_lines(path, &lines)?;
+        Ok(CorpusWrite { path: path.to_path_buf(), lines: self.corpus.len(), overflow: 0 })
+    }
+}
+
+/// `v:Hook:occ` triples, `,`-separated — stable and parseable.
+fn render_kills(kills: &[Kill]) -> String {
+    let mut out = String::new();
+    for (i, k) in kills.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}:{}", k.victim, hook_name(k.hook), k.occurrence));
+    }
+    out
+}
+
+/// Full schedule rendering: `seed=0x… kills=[…] mask=[…]`.
+fn render_schedule(s: &Schedule) -> String {
+    let mut out = format!("seed={:#x} kills=[{}]", s.seed, render_kills(&s.kills));
+    if let Some(mask) = &s.delay_mask {
+        let rendered: Vec<String> = mask.iter().map(|m| m.to_string()).collect();
+        out.push_str(&format!(" mask=[{}]", rendered.join(",")));
+    }
+    out
+}
+
+/// Stable hook name for corpus serialization.
+fn hook_name(h: HookKind) -> &'static str {
+    match h {
+        HookKind::BeforeSend => "BeforeSend",
+        HookKind::AfterSend => "AfterSend",
+        HookKind::BeforeRecvPost => "BeforeRecvPost",
+        HookKind::AfterRecvComplete => "AfterRecvComplete",
+        HookKind::BeforeCollective => "BeforeCollective",
+        HookKind::AfterCollective => "AfterCollective",
+        HookKind::BeforeValidate => "BeforeValidate",
+        HookKind::AfterValidate => "AfterValidate",
+        HookKind::Tick => "Tick",
+    }
+}
+
+/// Inverse of [`hook_name`].
+fn hook_from_name(s: &str) -> Option<HookKind> {
+    Some(match s {
+        "BeforeSend" => HookKind::BeforeSend,
+        "AfterSend" => HookKind::AfterSend,
+        "BeforeRecvPost" => HookKind::BeforeRecvPost,
+        "AfterRecvComplete" => HookKind::AfterRecvComplete,
+        "BeforeCollective" => HookKind::BeforeCollective,
+        "AfterCollective" => HookKind::AfterCollective,
+        "BeforeValidate" => HookKind::BeforeValidate,
+        "AfterValidate" => HookKind::AfterValidate,
+        "Tick" => HookKind::Tick,
+        _ => return None,
+    })
+}
+
+/// Parse one `schedule seed=… kills=[…] [mask=[…]] …` line back into a
+/// schedule. Lines not starting with `schedule ` (comments, blanks)
+/// return `Ok(None)`.
+fn parse_schedule_line(line: &str) -> Result<Option<Schedule>, String> {
+    let line = line.trim();
+    let Some(rest) = line.strip_prefix("schedule ") else {
+        return Ok(None);
+    };
+    let mut seed = None;
+    let mut kills = Vec::new();
+    let mut mask = None;
+    for tok in rest.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("seed=") {
+            let v = v.strip_prefix("0x").ok_or_else(|| format!("seed not hex: {tok}"))?;
+            seed = Some(u64::from_str_radix(v, 16).map_err(|e| format!("bad seed {tok}: {e}"))?);
+        } else if let Some(v) = tok.strip_prefix("kills=[") {
+            let v = v.strip_suffix(']').ok_or_else(|| format!("unterminated kills: {tok}"))?;
+            for trip in v.split(',').filter(|t| !t.is_empty()) {
+                let mut parts = trip.split(':');
+                let victim = parts
+                    .next()
+                    .and_then(|p| p.parse::<usize>().ok())
+                    .ok_or_else(|| format!("bad victim in {trip}"))?;
+                let hook = parts
+                    .next()
+                    .and_then(hook_from_name)
+                    .ok_or_else(|| format!("bad hook in {trip}"))?;
+                let occurrence = parts
+                    .next()
+                    .and_then(|p| p.parse::<u64>().ok())
+                    .ok_or_else(|| format!("bad occurrence in {trip}"))?;
+                kills.push(Kill { victim, hook, occurrence });
+            }
+        } else if let Some(v) = tok.strip_prefix("mask=[") {
+            let v = v.strip_suffix(']').ok_or_else(|| format!("unterminated mask: {tok}"))?;
+            let mut m = Vec::new();
+            for idx in v.split(',').filter(|t| !t.is_empty()) {
+                m.push(idx.parse::<u64>().map_err(|e| format!("bad mask index {idx}: {e}"))?);
+            }
+            mask = Some(m);
+        }
+        // Unknown tokens (novel=…, future fields) are ignored.
+    }
+    let seed = seed.ok_or_else(|| format!("schedule line without seed: {line}"))?;
+    Ok(Some(Schedule { seed, kills, delay_mask: mask }))
+}
+
+/// Load an evolved corpus file. Missing file = empty corpus (first
+/// campaign); unparseable content is an error, not a silent skip.
+fn load_corpus(path: &Path) -> Result<Vec<Schedule>, FuzzError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(FuzzError::Corpus(format!("{}: {e}", path.display()))),
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_schedule_line(line) {
+            Ok(Some(s)) => out.push(s),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(FuzzError::Corpus(format!(
+                    "{}:{}: {e}",
+                    path.display(),
+                    i + 1
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Mutation energy of a corpus entry at execution index `now`:
+/// [`ENERGY_MAX`] right after it contributes novelty, halving every
+/// [`ENERGY_HALF_LIFE`] executions, floor 1 (nothing starves).
+fn energy(entry: &CorpusEntry, now: u64) -> u64 {
+    let age = now.saturating_sub(entry.last_novel) / ENERGY_HALF_LIFE;
+    (ENERGY_MAX >> age.min(63)).max(1)
+}
+
+/// Energy-weighted parent pick. Walks the corpus twice (sum, then
+/// cumulative draw) — corpus sizes are bounded by the edge space, so
+/// this stays cheap and allocation-free.
+fn pick_parent(corpus: &[CorpusEntry], now: u64, rng: &mut SplitMix64) -> usize {
+    let total: u64 = corpus.iter().map(|e| energy(e, now)).sum();
+    let mut draw = rng.next_u64() % total.max(1);
+    for (i, e) in corpus.iter().enumerate() {
+        let w = energy(e, now);
+        if draw < w {
+            return i;
+        }
+        draw -= w;
+    }
+    corpus.len() - 1
+}
+
+/// Apply one mutation to `s` (already a copy of the parent).
+/// `partner` is the splice mate (energy-ignored, uniform draw).
+fn mutate(
+    s: &mut Schedule,
+    partner: Option<&Schedule>,
+    scenario: &ScenarioCfg,
+    rng: &mut SplitMix64,
+) {
+    // Drawing the mutator and its operands from one stream keeps the
+    // whole campaign a function of the master seed.
+    match rng.below(5) {
+        // Seed nudge: one bit of the interleaving seed.
+        0 => s.seed ^= 1u64 << rng.below(64),
+        // Kill-site shift: move one kill ±1..8 occurrences, or rehook.
+        1 => {
+            if s.kills.is_empty() {
+                add_kill(s, scenario, rng);
+            } else {
+                let i = rng.below(s.kills.len());
+                if rng.below(4) == 0 {
+                    s.kills[i].hook = MUTATE_HOOKS[rng.below(MUTATE_HOOKS.len())];
+                } else {
+                    let delta = 1 + rng.below(8) as u64;
+                    s.kills[i].occurrence = if rng.below(2) == 0 {
+                        s.kills[i].occurrence.saturating_add(delta)
+                    } else {
+                        s.kills[i].occurrence.saturating_sub(delta).max(1)
+                    };
+                }
+            }
+        }
+        // Victim swap: re-target one kill, keeping victims distinct.
+        2 => {
+            if s.kills.is_empty() {
+                add_kill(s, scenario, rng);
+            } else {
+                let i = rng.below(s.kills.len());
+                let v = rng.below(scenario.ranks);
+                if !s.kills.iter().enumerate().any(|(j, k)| j != i && k.victim == v) {
+                    s.kills[i].victim = v;
+                }
+            }
+        }
+        // Mask flip: toggle one drain index in the delay mask.
+        3 => {
+            let idx = rng.below(MASK_WINDOW as usize) as u64;
+            let mask = s.delay_mask.get_or_insert_with(Vec::new);
+            match mask.binary_search(&idx) {
+                Ok(pos) => {
+                    mask.remove(pos);
+                }
+                Err(pos) => mask.insert(pos, idx),
+            }
+            if mask.is_empty() {
+                s.delay_mask = None;
+            }
+        }
+        // Cross-shape splice: this schedule's kill prefix + the
+        // partner's suffix, victims deduplicated, count capped. The
+        // partner's mask rides along when this schedule has none.
+        _ => {
+            if let Some(p) = partner {
+                let keep = if s.kills.is_empty() { 0 } else { 1 + rng.below(s.kills.len()) };
+                s.kills.truncate(keep);
+                for k in &p.kills {
+                    if s.kills.len() >= MAX_KILLS.min(scenario.ranks - 1) {
+                        break;
+                    }
+                    if !s.kills.iter().any(|have| have.victim == k.victim) {
+                        s.kills.push(*k);
+                    }
+                }
+                if s.delay_mask.is_none() {
+                    if let Some(m) = &p.delay_mask {
+                        s.delay_mask = Some(m.clone());
+                    }
+                }
+            } else {
+                s.seed = s.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            }
+        }
+    }
+}
+
+/// Grow an empty kill-set by one seed-stream kill (mutators that need
+/// a kill to act on call this instead of no-oping).
+fn add_kill(s: &mut Schedule, scenario: &ScenarioCfg, rng: &mut SplitMix64) {
+    s.kills.push(Kill {
+        victim: rng.below(scenario.ranks),
+        hook: MUTATE_HOOKS[rng.below(MUTATE_HOOKS.len())],
+        occurrence: 1 + rng.below(25) as u64,
+    });
+}
+
+/// Run a coverage-guided fuzzing campaign.
+///
+/// Phase 1 (seeding) derives schedules through all seven kill shapes
+/// round-robin from the master stream; phase 2 mutates energy-picked
+/// corpus entries until the budget is spent. Every run is
+/// oracle-checked; the report carries the exact coverage union, the
+/// evolved corpus, and bounded failure records.
+pub fn fuzz(cfg: &FuzzCfg, scenario: &ScenarioCfg) -> Result<FuzzReport, FuzzError> {
+    scenario.validate().map_err(FuzzError::InvalidConfig)?;
+    cfg.validate()?;
+    if scenario.buggy_dedup {
+        return Err(FuzzError::InvalidConfig(
+            "fuzzing targets the hardened ring (the buggy configuration's known \
+             Fig. 8 defect would dominate the corpus)"
+                .into(),
+        ));
+    }
+
+    let loaded = match &cfg.corpus {
+        Some(p) => load_corpus(p)?,
+        None => Vec::new(),
+    };
+    // A corpus evolved at a larger world size names victims this
+    // scenario has no rank for; reject it up front instead of letting
+    // an out-of-range kill fail deep inside the executor.
+    for (i, s) in loaded.iter().enumerate() {
+        if let Some(k) = s.kills.iter().find(|k| k.victim >= scenario.ranks) {
+            return Err(FuzzError::Corpus(format!(
+                "corpus entry {} kills rank {} but the scenario has {} ranks \
+                 (was this corpus evolved at a different --ranks?)",
+                i + 1,
+                k.victim,
+                scenario.ranks
+            )));
+        }
+    }
+
+    let begun = Instant::now();
+    let mut rng = SplitMix64::new(cfg.seed ^ FUZZ_SALT);
+    let mut runner = SeedRunner::new(scenario.ranks);
+    let mut global: BTreeSet<u64> = BTreeSet::new();
+    let mut corpus: Vec<CorpusEntry> = Vec::new();
+    let mut failures: Vec<FuzzFailure> = Vec::new();
+    let mut report = FuzzReport {
+        seed: cfg.seed,
+        executed: 0,
+        seeded: 0,
+        novel: 0,
+        green: 0,
+        failing: 0,
+        hung: 0,
+        corpus: Vec::new(),
+        discovered: BTreeSet::new(),
+        failures: Vec::new(),
+        dropped_failures: 0,
+        stats: RunStats::default(),
+        elapsed: Duration::ZERO,
+    };
+
+    // Scratch buffers reused across the whole campaign.
+    let mut scratch = Schedule { seed: 0, kills: Vec::new(), delay_mask: None };
+    let mut derive_cfg = *scenario;
+
+    // One closure-free run step (borrow-splitting keeps it a fn).
+    macro_rules! run_one {
+        ($schedule:expr, $parent:expr) => {{
+            let schedule: &Schedule = $schedule;
+            let obs = runner.run_schedule_with(schedule, scenario, Retention::Quiet);
+            report.executed += 1;
+            report.stats.merge(&obs.stats);
+            if obs.hung {
+                report.hung += 1;
+            }
+            let mut fresh = 0u64;
+            for e in obs.coverage.iter() {
+                if global.insert(e) {
+                    fresh += 1;
+                }
+            }
+            if fresh > 0 {
+                report.novel += 1;
+                let parent: Option<usize> = $parent;
+                if let Some(p) = parent {
+                    corpus[p].last_novel = report.executed;
+                }
+                corpus.push(CorpusEntry {
+                    schedule: schedule.clone(),
+                    novel_edges: fresh,
+                    last_novel: report.executed,
+                });
+            }
+            let violations = check_all(&obs);
+            if violations.is_empty() {
+                report.green += 1;
+            } else {
+                report.failing += 1;
+                if failures.len() < cfg.max_failures.max(1) {
+                    let mut oracles: Vec<String> = Vec::new();
+                    for v in &violations {
+                        if !oracles.iter().any(|o| o.as_str() == v.oracle) {
+                            oracles.push(v.oracle.to_string());
+                        }
+                    }
+                    failures.push(FuzzFailure {
+                        schedule: schedule.clone(),
+                        oracles,
+                        violations: violations.iter().map(|v| v.to_string()).collect(),
+                        hung: obs.hung,
+                        triage: if obs.hung {
+                            crate::triage::triage(&obs).one_line()
+                        } else {
+                            String::new()
+                        },
+                    });
+                } else {
+                    report.dropped_failures += 1;
+                }
+            }
+            runner.recycle(obs);
+        }};
+    }
+
+    // Phase 0: replay the loaded corpus — its entries are the prior
+    // campaigns' knowledge and claim their edges first.
+    for schedule in &loaded {
+        if report.executed >= cfg.budget {
+            break;
+        }
+        run_one!(schedule, None);
+    }
+
+    // Phase 1: seeding across all seven shapes, round-robin. An eighth
+    // of the budget (at least 64 runs, at most half) buys breadth; the
+    // rest goes to the frontier.
+    let seed_budget = (cfg.budget / 8).max(64).min(cfg.budget / 2).max(1);
+    let mut shape_i = 0usize;
+    while report.executed < cfg.budget && report.seeded < seed_budget {
+        derive_cfg.shape = KillShape::ALL[shape_i % KillShape::ALL.len()];
+        shape_i += 1;
+        let seed = rng.next_u64();
+        Schedule::from_seed_into(seed, &derive_cfg, &mut scratch);
+        report.seeded += 1;
+        run_one!(&scratch, None);
+    }
+
+    // Phase 2: mutation at the frontier.
+    while report.executed < cfg.budget {
+        if corpus.is_empty() {
+            // Degenerate (tiny budget): keep seeding.
+            derive_cfg.shape = KillShape::ALL[shape_i % KillShape::ALL.len()];
+            shape_i += 1;
+            let seed = rng.next_u64();
+            Schedule::from_seed_into(seed, &derive_cfg, &mut scratch);
+            run_one!(&scratch, None);
+            continue;
+        }
+        let p = pick_parent(&corpus, report.executed, &mut rng);
+        let partner = if corpus.len() > 1 {
+            // Uniform splice mate (may equal the parent; harmless).
+            Some(rng.below(corpus.len()))
+        } else {
+            None
+        };
+        scratch.clone_from_pooled(&corpus[p].schedule);
+        let partner_schedule = partner.map(|q| corpus[q].schedule.clone());
+        mutate(&mut scratch, partner_schedule.as_ref(), scenario, &mut rng);
+        run_one!(&scratch, Some(p));
+    }
+
+    report.stats.coverage = CoverageStats {
+        edges: global.len() as u64,
+        signature: global.iter().fold(0, |d, e| d ^ e),
+    };
+    report.discovered = global;
+    report.corpus = corpus;
+    report.failures = failures;
+    report.elapsed = begun.elapsed();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_lines_round_trip() {
+        let s = Schedule {
+            seed: 0xBEEF,
+            kills: vec![
+                Kill { victim: 2, hook: HookKind::AfterSend, occurrence: 3 },
+                Kill { victim: 0, hook: HookKind::BeforeValidate, occurrence: 1 },
+            ],
+            delay_mask: Some(vec![1, 5, 299]),
+        };
+        let line = format!("schedule {} novel=7", render_schedule(&s));
+        let parsed = parse_schedule_line(&line).unwrap().unwrap();
+        assert_eq!(parsed.seed, s.seed);
+        assert_eq!(parsed.kills, s.kills);
+        assert_eq!(parsed.delay_mask, s.delay_mask);
+        // No mask: stays None through the round trip.
+        let bare = Schedule { seed: 1, kills: Vec::new(), delay_mask: None };
+        let parsed = parse_schedule_line(&format!("schedule {}", render_schedule(&bare)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.delay_mask, None);
+        assert!(parsed.kills.is_empty());
+        // Comments and blanks are skipped.
+        assert!(parse_schedule_line("# comment").unwrap().is_none());
+        assert!(parse_schedule_line("").unwrap().is_none());
+        // Garbage is an error, not a skip.
+        assert!(parse_schedule_line("schedule seed=12").is_err());
+        assert!(parse_schedule_line("schedule kills=[]").is_err());
+    }
+
+    #[test]
+    fn energy_decays_with_staleness() {
+        let entry = |last_novel| CorpusEntry {
+            schedule: Schedule { seed: 0, kills: Vec::new(), delay_mask: None },
+            novel_edges: 1,
+            last_novel,
+        };
+        let now = 10 * ENERGY_HALF_LIFE;
+        assert_eq!(energy(&entry(now), now), ENERGY_MAX);
+        assert_eq!(energy(&entry(now - ENERGY_HALF_LIFE), now), ENERGY_MAX / 2);
+        assert_eq!(energy(&entry(0), now), 1, "stale entries keep a floor of 1");
+    }
+
+    #[test]
+    fn mutations_respect_schedule_invariants() {
+        let scenario = ScenarioCfg::default();
+        let mut rng = SplitMix64::new(42);
+        let mut s = Schedule {
+            seed: 7,
+            kills: vec![Kill { victim: 1, hook: HookKind::Tick, occurrence: 4 }],
+            delay_mask: None,
+        };
+        let partner = Schedule {
+            seed: 9,
+            kills: vec![
+                Kill { victim: 0, hook: HookKind::AfterSend, occurrence: 2 },
+                Kill { victim: 2, hook: HookKind::AfterRecvComplete, occurrence: 9 },
+            ],
+            delay_mask: Some(vec![3, 7]),
+        };
+        for _ in 0..2000 {
+            mutate(&mut s, Some(&partner), &scenario, &mut rng);
+            assert!(s.kills.len() <= MAX_KILLS.min(scenario.ranks - 1));
+            let mut victims: Vec<usize> = s.kills.iter().map(|k| k.victim).collect();
+            victims.sort_unstable();
+            let n = victims.len();
+            victims.dedup();
+            assert_eq!(n, victims.len(), "mutation produced duplicate victims");
+            for k in &s.kills {
+                assert!(k.victim < scenario.ranks);
+                assert!(k.occurrence >= 1);
+            }
+            if let Some(m) = &s.delay_mask {
+                assert!(!m.is_empty(), "empty mask must collapse to None");
+                assert!(m.windows(2).all(|w| w[0] < w[1]), "mask must stay sorted+dedup");
+                assert!(m.iter().all(|&i| i < MASK_WINDOW));
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_rejects_degenerate_configs() {
+        let scenario = ScenarioCfg::default();
+        let bad = FuzzCfg { budget: 0, ..FuzzCfg::default() };
+        assert!(matches!(fuzz(&bad, &scenario), Err(FuzzError::InvalidConfig(_))));
+        let buggy = ScenarioCfg { buggy_dedup: true, ..ScenarioCfg::default() };
+        assert!(matches!(
+            fuzz(&FuzzCfg::default(), &buggy),
+            Err(FuzzError::InvalidConfig(_))
+        ));
+    }
+
+    /// A tiny campaign finds edges, builds a corpus, and stays green
+    /// on the hardened ring.
+    #[test]
+    fn small_campaign_builds_a_corpus() {
+        let scenario = ScenarioCfg::default();
+        let cfg = FuzzCfg { seed: 1, budget: 30, ..FuzzCfg::default() };
+        let report = fuzz(&cfg, &scenario).unwrap();
+        assert_eq!(report.executed, 30);
+        assert!(report.edges() > 0, "no coverage edges discovered");
+        assert!(!report.corpus.is_empty(), "no corpus entries retained");
+        assert_eq!(report.green + report.failing, 30);
+        assert_eq!(
+            report.corpus.iter().map(|e| e.novel_edges).sum::<u64>(),
+            report.edges(),
+            "corpus novel-edge counts must sum to the union size"
+        );
+    }
+}

@@ -34,6 +34,8 @@
 #[global_allocator]
 static ALLOC: allocstats::StatsAlloc = allocstats::StatsAlloc;
 
+pub mod coverage;
+pub mod fuzz;
 pub mod oracle;
 pub mod scenario;
 pub mod sched;
@@ -41,15 +43,17 @@ pub mod shrink;
 pub mod sweep;
 pub mod triage;
 
+pub use coverage::{CoverageSet, EdgeKind};
+pub use fuzz::{fuzz, FuzzCfg, FuzzError, FuzzReport};
 pub use oracle::{all_oracles, check_all, Oracle, Violation};
 pub use scenario::{
     run_schedule, run_schedule_with, run_seed, run_seed_quiet, Kill, KillShape, Observation,
     Retention, ScenarioCfg, Schedule, SeedRunner,
 };
-pub use faultsim::HandoffStats;
+pub use faultsim::{CoverageStats, HandoffStats, RunStats};
 pub use sched::{SchedEvent, SchedTuning, Scheduler, SplitMix64};
 pub use shrink::{shrink, Ev, Shrunk};
-pub use sweep::{sweep, FailureSummary, SweepCfg, SweepError, SweepReport};
+pub use sweep::{sweep, CorpusWrite, FailureSummary, SweepCfg, SweepError, SweepReport};
 pub use triage::{triage, triage_trace, TriageReport, WaitEdge, WaitKind};
 
 /// Result of exploring one seed.

@@ -5,6 +5,8 @@
 //!             [--shrink-failures] [--max-failures N] [--no-pool]
 //!             [--stats] [--threads-budget N]
 //!             [--shape <name|all>] [--buggy] [--ranks 4] [--iters 3]
+//! dst fuzz    --budget 20000 [--seed S] [--corpus PATH] [--stats]
+//!             [--max-failures N] [--ranks 4] [--iters 3]
 //! dst replay  --seed 0xBEEF [--shape NAME] [--buggy] [--log] [--triage]
 //! dst shrink  --seed 0xBEEF [--shape NAME] [--buggy]
 //! dst determinism --seed 0xBEEF [--shape NAME] [--buggy]
@@ -29,6 +31,13 @@
 //! `spaced`, `masked`); `--shape all` sweeps every shape in turn
 //! (explore only).
 //!
+//! `fuzz` runs the coverage-guided campaign of DESIGN.md §8.11:
+//! `--budget` schedule executions total, `--seed` naming the whole
+//! campaign (seeding, parent selection, and mutations), `--corpus`
+//! both loading a prior evolved corpus and receiving this campaign's.
+//! It seeds across *every* kill shape itself, so `--shape` does not
+//! apply.
+//!
 //! Exit status is non-zero when an oracle violation (explore/replay),
 //! an unshrinkable failure (shrink), or a log divergence (determinism)
 //! is found, so the commands compose directly into CI.
@@ -36,7 +45,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dst::{check_all, run_seed, shrink, sweep, KillShape, ScenarioCfg, SweepCfg};
+use dst::sweep::write_lines;
+use dst::{
+    check_all, fuzz, run_seed, shrink, sweep, CorpusWrite, FuzzCfg, KillShape, ScenarioCfg,
+    SweepCfg,
+};
 
 /// Largest world size the CLI accepts: every rank is a live executor
 /// thread, so values beyond this are typos, not experiments.
@@ -91,6 +104,11 @@ struct Args {
     show_log: bool,
     triage: bool,
     shape: ShapeArg,
+    /// Whether `--shape` appeared on the command line (fuzz rejects
+    /// it — the fuzzer seeds across every shape itself).
+    shape_given: bool,
+    /// `None`: the flag was not given (only fuzz has a default).
+    budget: Option<u64>,
     /// `None`: auto (one worker per core). `Some(n)`: exactly `n`.
     jobs: Option<usize>,
     max_failures: usize,
@@ -116,6 +134,8 @@ fn parse_args() -> Result<Args, String> {
         show_log: false,
         triage: false,
         shape: ShapeArg::One(KillShape::Pair),
+        shape_given: false,
+        budget: None,
         jobs: None,
         max_failures: 100,
         corpus: None,
@@ -136,6 +156,7 @@ fn parse_args() -> Result<Args, String> {
                 args.ranks = parse_capped_usize(&value("--ranks")?, "--ranks", MAX_RANKS)?
             }
             "--iters" => args.iters = parse_u64(&value("--iters")?)?,
+            "--budget" => args.budget = Some(parse_u64(&value("--budget")?)?),
             "--jobs" => {
                 args.jobs = Some(parse_capped_usize(&value("--jobs")?, "--jobs", MAX_JOBS)?)
             }
@@ -148,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--shape" => {
                 let v = value("--shape")?;
+                args.shape_given = true;
                 args.shape = if v == "all" {
                     ShapeArg::All
                 } else {
@@ -189,7 +211,8 @@ fn validate(args: &Args) -> Result<(), String> {
         ShapeArg::All => {
             if args.cmd != "explore" {
                 // replay/shrink/determinism run ONE schedule; "all"
-                // would leave the actual shape unspecified.
+                // would leave the actual shape unspecified (and fuzz
+                // seeds across every shape by construction).
                 return Err(format!(
                     "--shape all only applies to explore; \
                      pick one shape for {}\n{}",
@@ -204,16 +227,21 @@ fn validate(args: &Args) -> Result<(), String> {
                     usage()
                 ));
             }
-            cfg_of(args, KillShape::Pair).validate().map_err(|e| format!("{e}\n{}", usage()))?;
+            cfg_of(args, KillShape::Pair).map_err(|e| format!("{e}\n{}", usage()))?;
         }
         ShapeArg::One(shape) => {
-            cfg_of(args, shape).validate().map_err(|e| format!("{e}\n{}", usage()))?;
+            cfg_of(args, shape).map_err(|e| format!("{e}\n{}", usage()))?;
         }
     }
     if args.show_log && args.cmd != "replay" {
         // Every subcommand used to swallow --log silently; only replay
         // has a decision log in hand to print.
         return Err(format!("--log only applies to replay\n{}", usage()));
+    }
+    if args.budget.is_some() && args.cmd != "fuzz" {
+        // Explore's size is --seeds; a budget here would imply the
+        // sweep self-truncates.
+        return Err(format!("--budget only applies to fuzz\n{}", usage()));
     }
     if args.cmd == "explore" {
         if args.seeds == 0 {
@@ -236,17 +264,58 @@ fn validate(args: &Args) -> Result<(), String> {
         if args.threads_budget == Some(0) {
             return Err(format!("--threads-budget must be at least 1\n{}", usage()));
         }
-    } else if args.no_pool {
-        // replay/shrink/determinism always run spawn-per-run; accepting
-        // the flag there would imply it changes something.
-        return Err(format!("--no-pool only applies to explore\n{}", usage()));
-    } else if args.stats {
-        // Only the sweep engine aggregates handoff counters.
-        return Err(format!("--stats only applies to explore\n{}", usage()));
-    } else if args.threads_budget.is_some() {
-        // replay/shrink/determinism run one universe; there is no
-        // worker fan-out for the budget to size.
-        return Err(format!("--threads-budget only applies to explore\n{}", usage()));
+    } else if args.cmd == "fuzz" {
+        if args.shape_given {
+            // The seeding phase derives through all seven shapes and
+            // mutation composes across them; a single shape would be
+            // silently ignored.
+            return Err(format!(
+                "--shape does not apply to fuzz (it seeds across every shape)\n{}",
+                usage()
+            ));
+        }
+        if args.buggy {
+            return Err(format!(
+                "--buggy does not apply to fuzz: the known dedup defect \
+                 would dominate the corpus; fuzz targets the hardened ring\n{}",
+                usage()
+            ));
+        }
+        if args.budget == Some(0) {
+            return Err(format!("--budget must be at least 1\n{}", usage()));
+        }
+        if args.max_failures == 0 {
+            return Err(format!("--max-failures must be at least 1\n{}", usage()));
+        }
+        for (on, flag) in [
+            (args.jobs.is_some(), "--jobs"),
+            (args.no_pool, "--no-pool"),
+            (args.shrink_failures, "--shrink-failures"),
+            (args.threads_budget.is_some(), "--threads-budget"),
+        ] {
+            if on {
+                // The campaign is a single sequential chain — each
+                // mutation depends on every prior run's coverage — so
+                // the sweep engine's fan-out knobs have no meaning.
+                return Err(format!("{flag} only applies to explore\n{}", usage()));
+            }
+        }
+    } else {
+        if args.no_pool {
+            // replay/shrink/determinism always run spawn-per-run;
+            // accepting the flag there would imply it changes
+            // something.
+            return Err(format!("--no-pool only applies to explore\n{}", usage()));
+        }
+        if args.stats {
+            // Only the sweep and fuzz engines aggregate run stats.
+            return Err(format!("--stats only applies to explore and fuzz\n{}", usage()));
+        }
+        if args.threads_budget.is_some() {
+            // replay/shrink/determinism run one universe; there is no
+            // worker fan-out for the budget to size.
+            return Err(format!("--threads-budget only applies to explore\n{}", usage()));
+        }
     }
     if args.triage && args.cmd != "replay" {
         // Explore prints triage on its failure lines unconditionally;
@@ -258,8 +327,9 @@ fn validate(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: dst <explore|replay|shrink|determinism> \
-     [--seed S] [--seeds N] [--start S] [--jobs N] [--corpus PATH] \
+    "usage: dst <explore|fuzz|replay|shrink|determinism> \
+     [--seed S] [--seeds N] [--start S] [--budget N] [--jobs N] \
+     [--corpus PATH] \
      [--shrink-failures] [--max-failures N] [--no-pool] \
      [--stats] [--threads-budget N] \
      [--shape <pair|triple|root-chain|cascade|validate|spaced|masked|all>] \
@@ -267,14 +337,16 @@ fn usage() -> String {
         .to_string()
 }
 
-fn cfg_of(args: &Args, shape: KillShape) -> ScenarioCfg {
-    ScenarioCfg {
-        ranks: args.ranks,
-        max_iter: args.iters,
-        buggy_dedup: args.buggy,
-        shape,
-        ..ScenarioCfg::default()
-    }
+/// Scenario construction funnels through [`ScenarioCfg::builder`], so
+/// the CLI inherits the library's single validation site
+/// (`ScenarioCfg::validate`) instead of re-checking flag by flag.
+fn cfg_of(args: &Args, shape: KillShape) -> Result<ScenarioCfg, String> {
+    ScenarioCfg::builder()
+        .ranks(args.ranks)
+        .max_iter(args.iters)
+        .buggy_dedup(args.buggy)
+        .shape(shape)
+        .build()
 }
 
 fn need_seed(args: &Args) -> Result<u64, String> {
@@ -295,20 +367,23 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
         ShapeArg::All => KillShape::ALL.to_vec(),
         ShapeArg::One(s) => vec![s],
     };
-    let sweep_cfg = SweepCfg {
-        start: args.start,
-        count: args.seeds,
-        jobs: args.jobs.unwrap_or(0),
-        max_failures: args.max_failures,
-        shrink_failures: args.shrink_failures,
-        use_pool: !args.no_pool,
-        threads_budget: args.threads_budget.unwrap_or(0),
-    };
+    let sweep_cfg = SweepCfg::builder()
+        .start(args.start)
+        .count(args.seeds)
+        .jobs(args.jobs.unwrap_or(0))
+        .max_failures(args.max_failures)
+        .shrink_failures(args.shrink_failures)
+        .use_pool(!args.no_pool)
+        .threads_budget(args.threads_budget.unwrap_or(0))
+        .build()
+        .map_err(|e| e.to_string())?;
 
     let mut total_failing = 0u64;
+    let mut total_dropped = 0u64;
     let mut corpus: Vec<String> = Vec::new();
+    let mut corpus_repros = 0usize;
     for &shape in &shapes {
-        let cfg = cfg_of(args, shape);
+        let cfg = cfg_of(args, shape)?;
         let report = sweep(&sweep_cfg, &cfg).map_err(|e| e.to_string())?;
 
         for f in report.failures.values() {
@@ -348,55 +423,122 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
             report.throughput()
         );
         if args.stats {
-            let h = &report.handoff;
-            println!(
-                "stats [shape {shape}]: {} steps, {} grants \
-                 ({} elided: {} self, {} spin; {} pre-park), \
-                 {} parks, {} unparks, {} spin iters, {} park-safety timeouts",
-                h.steps,
-                h.grants,
-                h.elided(),
-                h.self_grants,
-                h.spin_grants,
-                h.prepark_grants,
-                h.parks,
-                h.unparks,
-                h.spin_iters,
-                h.park_safety_timeouts
-            );
-            let a = &report.alloc;
-            println!(
-                "alloc [shape {shape}]: {:.1} allocs/schedule \
-                 ({} allocs, {} frees, {:.1} KiB alloc'd/schedule)",
-                a.allocs as f64 / report.count as f64,
-                a.allocs,
-                a.deallocs,
-                a.bytes_alloc as f64 / report.count as f64 / 1024.0
-            );
+            print_stats(&report.stats, report.count, &format!("[shape {shape}]"));
         }
 
         total_failing += report.failing;
+        total_dropped += report.dropped_failures;
         if args.corpus.is_some() {
+            corpus_repros += report.failures.len();
             corpus.extend(report.corpus_lines(&cfg));
         }
     }
 
     if let Some(path) = &args.corpus {
-        if corpus.is_empty() {
-            println!("no failures: corpus {} not written", path.display());
-        } else {
-            std::fs::write(path, corpus.join("\n") + "\n")
+        // Same summary surface as `SweepReport::write_corpus`; the CLI
+        // aggregates lines across shapes first, so it writes through
+        // the shared sink itself.
+        let summary =
+            CorpusWrite { path: path.clone(), lines: corpus_repros, overflow: total_dropped };
+        if summary.created() {
+            write_lines(path, &corpus)
                 .map_err(|e| format!("cannot write corpus {}: {e}", path.display()))?;
-            println!("wrote {} corpus line(s) to {}", corpus.len(), path.display());
         }
+        println!("{summary}");
     }
 
     Ok(if total_failing == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// The one `--stats` rendering for both explore and fuzz: every counter
+/// family in [`dst::RunStats`], normalized per schedule where that is
+/// meaningful.
+fn print_stats(stats: &dst::RunStats, runs: u64, tag: &str) {
+    let h = &stats.handoff;
+    println!(
+        "stats {tag}: {} steps, {} grants \
+         ({} elided: {} self, {} spin; {} pre-park), \
+         {} parks, {} unparks, {} spin iters, {} park-safety timeouts",
+        h.steps,
+        h.grants,
+        h.elided(),
+        h.self_grants,
+        h.spin_grants,
+        h.prepark_grants,
+        h.parks,
+        h.unparks,
+        h.spin_iters,
+        h.park_safety_timeouts
+    );
+    let a = &stats.alloc;
+    println!(
+        "alloc {tag}: {:.1} allocs/schedule \
+         ({} allocs, {} frees, {:.1} KiB alloc'd/schedule)",
+        a.allocs as f64 / runs as f64,
+        a.allocs,
+        a.deallocs,
+        a.bytes_alloc as f64 / runs as f64 / 1024.0
+    );
+    let c = &stats.coverage;
+    println!(
+        "coverage {tag}: {} distinct edges, signature {:#018x}",
+        c.edges, c.signature
+    );
+}
+
+fn cmd_fuzz(args: &Args) -> Result<ExitCode, String> {
+    // The shape here only names the scenario; the campaign's seeding
+    // phase walks all seven shapes itself (validate rejected --shape).
+    let scenario = cfg_of(args, KillShape::Pair)?;
+    let fuzz_cfg = FuzzCfg {
+        seed: args.seed.unwrap_or(0),
+        budget: args.budget.unwrap_or(1000),
+        max_failures: args.max_failures,
+        corpus: args.corpus.clone(),
+    };
+    let report = fuzz(&fuzz_cfg, &scenario).map_err(|e| e.to_string())?;
+
+    for f in &report.failures {
+        println!("FAIL {}", f.line(&fuzz_cfg, &scenario));
+    }
+    if report.dropped_failures > 0 {
+        println!(
+            "... and {} more failing schedule(s) beyond --max-failures {}",
+            report.dropped_failures, args.max_failures
+        );
+    }
+    println!(
+        "fuzzed {} schedules (seed {:#x}: {} seeded, {} novel, corpus {}) \
+         in {:.2?}: {} green, {} failing, {} hung — \
+         {} distinct coverage edges, signature {:#018x}",
+        report.executed,
+        report.seed,
+        report.seeded,
+        report.novel,
+        report.corpus.len(),
+        report.elapsed,
+        report.green,
+        report.failing,
+        report.hung,
+        report.edges(),
+        report.signature()
+    );
+    if args.stats {
+        print_stats(&report.stats, report.executed, "[fuzz]");
+    }
+    if let Some(path) = &args.corpus {
+        let w = report
+            .write_corpus(path)
+            .map_err(|e| format!("cannot write corpus {}: {e}", path.display()))?;
+        println!("evolved corpus: {} schedule(s) at {}", w.lines, w.path.display());
+    }
+
+    Ok(if report.failing == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
 fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
     let seed = need_seed(args)?;
-    let cfg = cfg_of(args, one_shape(args));
+    let cfg = cfg_of(args, one_shape(args))?;
     let obs = run_seed(seed, &cfg);
     println!(
         "seed {seed:#x} ({} ranks, {} iters, shape {})",
@@ -431,7 +573,7 @@ fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
 
 fn cmd_shrink(args: &Args) -> Result<ExitCode, String> {
     let seed = need_seed(args)?;
-    let cfg = cfg_of(args, one_shape(args));
+    let cfg = cfg_of(args, one_shape(args))?;
     match shrink(seed, &cfg, None) {
         Some(s) => {
             println!(
@@ -456,7 +598,7 @@ fn cmd_shrink(args: &Args) -> Result<ExitCode, String> {
 
 fn cmd_determinism(args: &Args) -> Result<ExitCode, String> {
     let seed = need_seed(args)?;
-    let cfg = cfg_of(args, one_shape(args));
+    let cfg = cfg_of(args, one_shape(args))?;
     let a = run_seed(seed, &cfg);
     let b = run_seed(seed, &cfg);
     if a.log == b.log {
@@ -483,6 +625,7 @@ fn main() -> ExitCode {
     };
     let result = match args.cmd.as_str() {
         "explore" => cmd_explore(&args),
+        "fuzz" => cmd_fuzz(&args),
         "replay" => cmd_replay(&args),
         "shrink" => cmd_shrink(&args),
         "determinism" => cmd_determinism(&args),

@@ -16,10 +16,11 @@
 use std::sync::Arc;
 
 use allocstats::AllocStats;
-use faultsim::{FaultPlan, HookKind};
+use faultsim::{FaultPlan, HookKind, RunStats};
 use ftmpi::{run, RankOutcome, TimedEvent, UniverseConfig, UniversePool, WORLD};
 use ftring::{run_ring, RingConfig, RingStats};
 
+use crate::coverage::CoverageSet;
 use crate::sched::{SchedTuning, Scheduler, SplitMix64};
 
 /// Stream salt so kill derivation never collides with the scheduler's
@@ -130,7 +131,13 @@ impl std::fmt::Display for KillShape {
 }
 
 /// What the ring under test should look like.
-#[derive(Debug, Clone)]
+///
+/// Every field is plain data, so the config is `Copy` — an
+/// [`Observation`] carries its scenario by value and "cloning" a
+/// config costs nothing. Construct one with [`ScenarioCfg::builder`]
+/// (which funnels through the single [`ScenarioCfg::validate`]) or by
+/// struct-update off [`ScenarioCfg::default`] in tests.
+#[derive(Debug, Clone, Copy)]
 pub struct ScenarioCfg {
     /// World size.
     pub ranks: usize,
@@ -203,6 +210,64 @@ impl ScenarioCfg {
         } else {
             RingConfig::with_root_failover(self.max_iter)
         }
+    }
+
+    /// Typed builder starting from the defaults. [`ScenarioBuilder::build`]
+    /// is the only way out, and it runs [`ScenarioCfg::validate`] — so
+    /// every CLI entry point (`explore`, `replay`, `fuzz`) shares one
+    /// validation site instead of re-deriving the flag rules.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder { cfg: ScenarioCfg::default() }
+    }
+}
+
+/// Builder for [`ScenarioCfg`]; see [`ScenarioCfg::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioBuilder {
+    cfg: ScenarioCfg,
+}
+
+impl ScenarioBuilder {
+    /// World size (`--ranks`).
+    pub fn ranks(mut self, n: usize) -> Self {
+        self.cfg.ranks = n;
+        self
+    }
+
+    /// Ring iterations (`--iters`).
+    pub fn max_iter(mut self, n: u64) -> Self {
+        self.cfg.max_iter = n;
+        self
+    }
+
+    /// Run the deliberately broken dedup configuration (`--buggy-dedup`).
+    pub fn buggy_dedup(mut self, on: bool) -> Self {
+        self.cfg.buggy_dedup = on;
+        self
+    }
+
+    /// Logical-step budget (`--budget`).
+    pub fn step_budget(mut self, n: u64) -> Self {
+        self.cfg.step_budget = n;
+        self
+    }
+
+    /// Kill-shape family (`--shape`).
+    pub fn shape(mut self, s: KillShape) -> Self {
+        self.cfg.shape = s;
+        self
+    }
+
+    /// Scheduler handoff tuning (schedule-invisible).
+    pub fn tuning(mut self, t: SchedTuning) -> Self {
+        self.cfg.tuning = t;
+        self
+    }
+
+    /// Validate and produce the config — the single validation funnel.
+    pub fn build(self) -> Result<ScenarioCfg, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -280,6 +345,26 @@ impl Schedule {
             derive_delay_mask(&mut rng, mask);
         } else {
             out.delay_mask = None;
+        }
+    }
+
+    /// Copy `src`'s content into `self`, reusing `self`'s kill/mask
+    /// buffers instead of allocating fresh ones (the derived
+    /// `Clone::clone` can't). This is what lets the [`SeedRunner`]
+    /// recycle retained observations: a recycled schedule's buffers
+    /// flow back into the next run's `Observation::schedule`, so
+    /// corpus retention (fuzz mode) costs no per-run heap traffic.
+    pub fn clone_from_pooled(&mut self, src: &Schedule) {
+        self.seed = src.seed;
+        self.kills.clear();
+        self.kills.extend_from_slice(&src.kills);
+        match &src.delay_mask {
+            Some(m) => {
+                let mask = self.delay_mask.get_or_insert_with(Vec::new);
+                mask.clear();
+                mask.extend_from_slice(m);
+            }
+            None => self.delay_mask = None,
         }
     }
 }
@@ -507,7 +592,7 @@ pub struct Observation {
     /// Per-rank simplified outcomes, indexed by world rank.
     pub outcomes: Vec<Outcome>,
     /// Per-rank ring stats for ranks that completed.
-    pub stats: Vec<Option<RingStats>>,
+    pub ring_stats: Vec<Option<RingStats>>,
     /// Whether the run hung (logical-step budget exhausted).
     pub hung: bool,
     /// Whether the scheduler's own budget event fired (should track
@@ -519,21 +604,24 @@ pub struct Observation {
     pub log: String,
     /// Drain calls that delayed delivery during this run.
     pub delay_calls: Vec<u64>,
-    /// Handoff-path performance counters for this run (grants, elided
-    /// handoffs, parks, spins — see [`faultsim::HandoffStats`]).
-    pub handoff: faultsim::HandoffStats,
-    /// Heap-allocation counters for this schedule: the rank job bodies
-    /// ([`ftmpi::RunReport::alloc`]) plus the harness's own work on the
+    /// Every per-run statistic on one surface ([`faultsim::RunStats`]):
+    /// handoff counters, the coverage summary, and heap-allocation
+    /// counters for the whole schedule — the rank job bodies
+    /// ([`ftmpi::RunReport::stats`]) plus the harness's own work on the
     /// calling thread (schedule derivation, scheduler construction,
-    /// observation assembly). Counted by the [`allocstats::StatsAlloc`]
-    /// global allocator this crate installs.
-    pub alloc: AllocStats,
+    /// observation assembly), counted by the
+    /// [`allocstats::StatsAlloc`] global allocator this crate installs.
+    pub stats: RunStats,
+    /// The run's full coverage-edge set (summarized by
+    /// `stats.coverage`), harvested from the scheduler — the fuzzer's
+    /// novelty signal.
+    pub coverage: CoverageSet,
 }
 
 impl Observation {
     /// Ranks that finished with ring stats.
     pub fn survivors(&self) -> impl Iterator<Item = (usize, &RingStats)> {
-        self.stats.iter().enumerate().filter_map(|(r, s)| s.as_ref().map(|s| (r, s)))
+        self.ring_stats.iter().enumerate().filter_map(|(r, s)| s.as_ref().map(|s| (r, s)))
     }
 
     /// World ranks named in the kill-set.
@@ -567,7 +655,7 @@ pub fn run_schedule_with(
     cfg: &ScenarioCfg,
     retention: Retention,
 ) -> Observation {
-    execute(None, schedule, cfg, retention)
+    execute(None, schedule, cfg, retention, None)
 }
 
 /// A reusable schedule executor: one persistent [`UniversePool`] at a
@@ -588,6 +676,12 @@ pub struct SeedRunner {
     /// kill/mask vectors warm up once and steady-state derivation
     /// stops allocating per seed.
     derive: Schedule,
+    /// Recycled schedule buffers ([`SeedRunner::recycle`]): the next
+    /// run's `Observation::schedule` is built by
+    /// [`Schedule::clone_from_pooled`] into one of these instead of a
+    /// fresh `clone()`, so retaining observations (fuzz corpus,
+    /// failure summaries) adds no per-run heap traffic.
+    spares: Vec<Schedule>,
 }
 
 impl SeedRunner {
@@ -596,12 +690,22 @@ impl SeedRunner {
         SeedRunner {
             pool: UniversePool::new(ranks),
             derive: Schedule { seed: 0, kills: Vec::new(), delay_mask: None },
+            spares: Vec::new(),
         }
     }
 
     /// The rank count this runner's pool was built for.
     pub fn ranks(&self) -> usize {
         self.pool.size()
+    }
+
+    /// Return an observation's buffers to the runner once its verdict
+    /// is extracted. Keeps a small stack of spare schedules; everything
+    /// else in the observation drops normally.
+    pub fn recycle(&mut self, obs: Observation) {
+        if self.spares.len() < 4 {
+            self.spares.push(obs.schedule);
+        }
     }
 
     /// [`run_schedule_with`], on the persistent pool.
@@ -616,7 +720,8 @@ impl SeedRunner {
             self.pool.size(),
             "scenario rank count does not match this runner's pool"
         );
-        execute(Some(&mut self.pool), schedule, cfg, retention)
+        let spare = self.spares.pop();
+        execute(Some(&mut self.pool), schedule, cfg, retention, spare)
     }
 
     /// [`run_seed`], on the persistent pool.
@@ -646,8 +751,9 @@ impl SeedRunner {
         let before = allocstats::snapshot();
         Schedule::from_seed_into(seed, cfg, &mut self.derive);
         let derive = allocstats::snapshot().since(&before);
-        let mut obs = execute(Some(&mut self.pool), &self.derive, cfg, retention);
-        obs.alloc.add(&derive);
+        let spare = self.spares.pop();
+        let mut obs = execute(Some(&mut self.pool), &self.derive, cfg, retention, spare);
+        obs.stats.alloc.add(&derive);
         obs
     }
 }
@@ -663,11 +769,14 @@ fn derive_measured(seed: u64, cfg: &ScenarioCfg) -> (Schedule, AllocStats) {
 
 /// The one execution path behind both the pooled and spawn-per-run
 /// entry points; they differ only in who provides the rank threads.
+/// `spare` is an optional recycled schedule whose buffers become the
+/// observation's schedule copy (no fresh clone allocation).
 fn execute(
     pool: Option<&mut UniversePool>,
     schedule: &Schedule,
     cfg: &ScenarioCfg,
     retention: Retention,
+    spare: Option<Schedule>,
 ) -> Observation {
     // Measure the harness's own heap traffic on this thread (scheduler
     // construction, plan fold, outcome flattening); the rank bodies'
@@ -698,48 +807,57 @@ fn execute(
     };
 
     let mut outcomes = Vec::with_capacity(report.outcomes.len());
-    let mut stats = Vec::with_capacity(report.outcomes.len());
+    let mut ring_stats = Vec::with_capacity(report.outcomes.len());
     for o in report.outcomes {
         match o {
             RankOutcome::Ok(s) => {
                 outcomes.push(Outcome::Ok);
-                stats.push(Some(s));
+                ring_stats.push(Some(s));
             }
             RankOutcome::Failed => {
                 outcomes.push(Outcome::Failed);
-                stats.push(None);
+                ring_stats.push(None);
             }
             RankOutcome::Aborted { code } => {
                 outcomes.push(Outcome::Aborted(code));
-                stats.push(None);
+                ring_stats.push(None);
             }
             RankOutcome::Err(e) => {
                 outcomes.push(Outcome::Err(e.to_string()));
-                stats.push(None);
+                ring_stats.push(None);
             }
             RankOutcome::Panicked(m) => {
                 outcomes.push(Outcome::Panicked(m));
-                stats.push(None);
+                ring_stats.push(None);
             }
         }
     }
 
+    // The observation's schedule copy reuses a recycled buffer when
+    // the caller provided one (§8.10: retention must not cost a fresh
+    // clone per run).
+    let mut own_schedule =
+        spare.unwrap_or(Schedule { seed: 0, kills: Vec::new(), delay_mask: None });
+    own_schedule.clone_from_pooled(schedule);
+
     let mut obs = Observation {
-        schedule: schedule.clone(),
-        cfg: cfg.clone(),
+        schedule: own_schedule,
+        cfg: *cfg,
         outcomes,
-        stats,
+        ring_stats,
         hung: report.hung,
         budget_exhausted: sched.budget_exhausted(),
         trace: report.trace,
         log: sched.log_text(),
         delay_calls: sched.delay_calls(),
-        handoff: report.handoff,
-        alloc: AllocStats::default(),
+        // Handoff + coverage summary + rank-body alloc, via the one
+        // RunStats surface the pool assembled.
+        stats: report.stats,
+        coverage: sched.take_coverage(),
     };
-    // Snapshot *after* assembly so the observation's own clones count.
-    obs.alloc = allocstats::snapshot().since(&alloc_before);
-    obs.alloc.add(&report.alloc);
+    // Snapshot *after* assembly so the observation's own work counts.
+    let harness = allocstats::snapshot().since(&alloc_before);
+    obs.stats.alloc.add(&harness);
     obs
 }
 
@@ -747,7 +865,7 @@ fn execute(
 pub fn run_seed(seed: u64, cfg: &ScenarioCfg) -> Observation {
     let (schedule, derive) = derive_measured(seed, cfg);
     let mut obs = run_schedule(&schedule, cfg);
-    obs.alloc.add(&derive);
+    obs.stats.alloc.add(&derive);
     obs
 }
 
@@ -756,7 +874,7 @@ pub fn run_seed(seed: u64, cfg: &ScenarioCfg) -> Observation {
 pub fn run_seed_quiet(seed: u64, cfg: &ScenarioCfg) -> Observation {
     let (schedule, derive) = derive_measured(seed, cfg);
     let mut obs = run_schedule_with(&schedule, cfg, Retention::Quiet);
-    obs.alloc.add(&derive);
+    obs.stats.alloc.add(&derive);
     obs
 }
 

@@ -37,7 +37,7 @@
 //!   the futex-wait + mutex-reacquisition cost from every handoff
 //!   (measured ~2.5 µs per condvar round trip vs ~1 µs for a raw
 //!   park/unpark pair on the reference box, DESIGN.md §8.9).
-//! * All elisions are counted ([`SchedHook::handoff_stats`]) and
+//! * All elisions are counted ([`SchedHook::run_stats`]) and
 //!   surfaced per run through `RunReport` and `dst explore --stats`.
 //! * The number of grants is the **logical clock**. When it exceeds the
 //!   step budget the run is aborted — the deterministic replacement for
@@ -72,6 +72,15 @@
 //! which drain calls may delay, which is what makes the delay-set a
 //! first-class, minimizable part of a failure schedule.
 //!
+//! ### Coverage
+//!
+//! Alongside the decision log, every decision is hashed into a
+//! [`CoverageSet`] of `(rank, decision-kind, protocol-phase)` edges —
+//! the feedback signal for `dst fuzz` (DESIGN.md §8.11). Collection is
+//! recording-independent (quiet schedulers cover too), touches no PRNG
+//! stream, and never writes the log, so it is schedule-invisible: the
+//! golden logs referee that adding coverage changed nothing.
+//!
 //! ### Limitation
 //!
 //! Serialization requires every blocking path to funnel through a
@@ -85,7 +94,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::thread::Thread;
 
-use faultsim::{ChoiceKind, HandoffStats, Rank, SchedHook, SchedPoint, StepOutcome};
+use crate::coverage::{CoverageSet, EdgeKind, PHASE_CAP};
+use faultsim::{ChoiceKind, HandoffStats, Rank, RunStats, SchedHook, SchedPoint, StepOutcome};
 
 /// Deterministic splitmix64 stream.
 #[derive(Debug, Clone)]
@@ -286,6 +296,12 @@ struct Inner {
     self_grants: u64,
     /// `Thread::unpark` wakeups issued by granters.
     unparks: u64,
+    /// Coverage-edge set for this run (always collected; quiet mode
+    /// only suppresses the *log*, not the coverage signal).
+    coverage: CoverageSet,
+    /// Fail-stops delivered so far, saturated at [`PHASE_CAP`] — the
+    /// protocol-phase coordinate of every coverage edge.
+    kills_seen: u8,
 }
 
 /// The serializing scheduler. Construct, wrap in an `Arc`, and pass to
@@ -329,6 +345,8 @@ impl Scheduler {
                 grants: 0,
                 self_grants: 0,
                 unparks: 0,
+                coverage: CoverageSet::new(),
+                kills_seen: 0,
             }),
             slots: (0..n).map(|_| HandoffSlot { state: AtomicU32::new(ARMED) }).collect(),
             budget,
@@ -423,6 +441,15 @@ impl Scheduler {
         self.inner.lock().unwrap().steps
     }
 
+    /// Move the run's coverage-edge set out of the scheduler (leaving
+    /// an empty, unallocated placeholder). Call once, after the run:
+    /// the fuzzer unions the full set; copying it through the hook
+    /// trait would cost an allocation per harvest.
+    pub fn take_coverage(&self) -> CoverageSet {
+        let mut inner = self.inner.lock().unwrap();
+        std::mem::replace(&mut inner.coverage, CoverageSet::empty())
+    }
+
     /// Grant the token to a random parked rank if everyone registered
     /// is parked. Must be called with the lock held. `current` is the
     /// stepping rank when the caller is eligible for the self-grant
@@ -438,6 +465,8 @@ impl Scheduler {
         inner.steps += 1;
         if inner.steps > self.budget {
             inner.aborted = true;
+            let phase = inner.kills_seen;
+            inner.coverage.record(0, EdgeKind::Budget, phase);
             if inner.record {
                 inner.log.push(SchedEvent::Budget);
             }
@@ -458,6 +487,8 @@ impl Scheduler {
         let rank = inner.waiting.remove(idx);
         inner.running = Some(rank);
         inner.grants += 1;
+        let phase = inner.kills_seen;
+        inner.coverage.record(rank, EdgeKind::Grant, phase);
         if inner.record {
             inner.log.push(SchedEvent::Grant { rank });
         }
@@ -625,6 +656,15 @@ impl SchedHook for Scheduler {
             }
             ChoiceKind::WaitAny | ChoiceKind::AnySource => (inner.rng.below(n), None),
         };
+        let ekind = match kind {
+            ChoiceKind::WaitAny => EdgeKind::WaitAny,
+            ChoiceKind::AnySource => EdgeKind::AnySource,
+            // `pick < n - 1` ⇔ a suffix of the queue was withheld.
+            ChoiceKind::Drain if pick < n - 1 => EdgeKind::DrainDelay,
+            ChoiceKind::Drain => EdgeKind::DrainFull,
+        };
+        let phase = inner.kills_seen;
+        inner.coverage.record(rank, ekind, phase);
         if inner.record {
             inner.log.push(SchedEvent::Choice { rank, kind, n, pick, call });
         }
@@ -638,6 +678,8 @@ impl SchedHook for Scheduler {
         if inner.running == Some(rank) {
             inner.running = None;
         }
+        let phase = inner.kills_seen;
+        inner.coverage.record(rank, EdgeKind::Exit, phase);
         if inner.record {
             inner.log.push(SchedEvent::Exit { rank });
         }
@@ -650,6 +692,12 @@ impl SchedHook for Scheduler {
 
     fn on_kill(&self, victim: Rank) {
         let mut inner = self.inner.lock().unwrap();
+        // The kill edge carries the phase *entered by* this kill (the
+        // first kill is phase-1 behavior), then later decisions see
+        // the bumped counter.
+        inner.kills_seen = (inner.kills_seen + 1).min(PHASE_CAP);
+        let phase = inner.kills_seen;
+        inner.coverage.record(victim, EdgeKind::Kill, phase);
         if inner.record {
             inner.log.push(SchedEvent::Kill { victim });
         }
@@ -659,19 +707,24 @@ impl SchedHook for Scheduler {
         self.inner.lock().unwrap().steps
     }
 
-    fn handoff_stats(&self) -> HandoffStats {
+    fn run_stats(&self) -> RunStats {
         let inner = self.inner.lock().unwrap();
-        HandoffStats {
-            steps: inner.steps,
-            grants: inner.grants,
-            self_grants: inner.self_grants,
-            spin_grants: self.spin_grants.load(Ordering::Relaxed),
-            prepark_grants: self.prepark_grants.load(Ordering::Relaxed),
-            parks: self.parks.load(Ordering::Relaxed),
-            unparks: inner.unparks,
-            spin_iters: self.spin_iters.load(Ordering::Relaxed),
-            // Wall-clock transport counter; the pool fills this in.
-            park_safety_timeouts: 0,
+        RunStats {
+            handoff: HandoffStats {
+                steps: inner.steps,
+                grants: inner.grants,
+                self_grants: inner.self_grants,
+                spin_grants: self.spin_grants.load(Ordering::Relaxed),
+                prepark_grants: self.prepark_grants.load(Ordering::Relaxed),
+                parks: self.parks.load(Ordering::Relaxed),
+                unparks: inner.unparks,
+                spin_iters: self.spin_iters.load(Ordering::Relaxed),
+                // Wall-clock transport counter; the pool fills this in.
+                park_safety_timeouts: 0,
+            },
+            coverage: inner.coverage.stats(),
+            // Attributed by the executor, not the scheduler.
+            alloc: Default::default(),
         }
     }
 }
@@ -798,7 +851,7 @@ mod tests {
             assert_eq!(sched.step(0, SchedPoint::Tick), StepOutcome::Run);
         }
         sched.on_exit(0);
-        let stats = sched.handoff_stats();
+        let stats = sched.run_stats().handoff;
         assert_eq!(stats.grants, 50);
         assert_eq!(stats.self_grants, 50);
         assert_eq!(stats.elided(), 50);
@@ -827,7 +880,7 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            (sched.log_text(), sched.handoff_stats())
+            (sched.log_text(), sched.run_stats().handoff)
         };
         let (log_on, stats_on) = run(SchedTuning::default());
         let (log_off, stats_off) = run(SchedTuning::disabled());
@@ -848,5 +901,32 @@ mod tests {
         sched.on_kill(0);
         assert_eq!(sched.log_text(), sched.log_text());
         assert!(sched.log_text().contains("kill 0"));
+    }
+
+    /// Coverage is recording-independent: a quiet scheduler driven
+    /// through the same calls reports the identical edge set, and the
+    /// kill phase splits otherwise-identical decisions.
+    #[test]
+    fn coverage_collected_quiet_and_phase_sensitive() {
+        let drive = |sched: &Scheduler| {
+            sched.choose(0, ChoiceKind::WaitAny, 3);
+            sched.choose(1, ChoiceKind::Drain, 4);
+            sched.on_kill(1);
+            // Same decision as the first, now in phase 1 → new edge.
+            sched.choose(0, ChoiceKind::WaitAny, 3);
+            sched.on_exit(0);
+        };
+        let recorded = Scheduler::new(2, 11, 100);
+        let quiet = Scheduler::quiet(2, 11, 100);
+        drive(&recorded);
+        drive(&quiet);
+        let (r, q) = (recorded.run_stats().coverage, quiet.run_stats().coverage);
+        assert_eq!(r, q, "quiet run covered differently");
+        assert!(r.edges >= 5, "expected ≥5 distinct edges, got {}", r.edges);
+        let set = recorded.take_coverage();
+        assert_eq!(set.len() as u64, r.edges);
+        assert_eq!(set.signature(), r.signature);
+        // Harvest moved the set out; the scheduler now reports empty.
+        assert_eq!(recorded.run_stats().coverage.edges, 0);
     }
 }

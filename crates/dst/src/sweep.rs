@@ -23,16 +23,16 @@
 //! ddmin-minimized first (`shrink_failures`), so a red CI run hands the
 //! developer `dst replay --seed 0x2d --buggy` instead of a log dump.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use allocstats::AllocStats;
-use faultsim::HandoffStats;
+use faultsim::{CoverageStats, RunStats};
 
+use crate::coverage::CoverageSet;
 use crate::oracle::check_all;
 use crate::scenario::{run_seed_quiet, Observation, ScenarioCfg, SeedRunner};
 use crate::shrink::shrink;
@@ -86,6 +86,84 @@ impl Default for SweepCfg {
             use_pool: true,
             threads_budget: 0,
         }
+    }
+}
+
+impl SweepCfg {
+    /// Reject degenerate sweep shapes. The one validation site for the
+    /// engine knobs, shared by [`sweep`] and [`SweepBuilder::build`].
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.count == 0 {
+            return Err(SweepError::InvalidConfig("seed count must be at least 1".into()));
+        }
+        // `start..start + count` must not wrap: checked once, with a
+        // clean error instead of a debug panic / silent empty range.
+        self.start
+            .checked_add(self.count)
+            .ok_or(SweepError::SeedRangeOverflow { start: self.start, count: self.count })?;
+        Ok(())
+    }
+
+    /// Typed builder starting from the defaults; [`SweepBuilder::build`]
+    /// runs [`SweepCfg::validate`].
+    pub fn builder() -> SweepBuilder {
+        SweepBuilder { cfg: SweepCfg::default() }
+    }
+}
+
+/// Builder for [`SweepCfg`]; see [`SweepCfg::builder`].
+#[derive(Debug, Clone)]
+pub struct SweepBuilder {
+    cfg: SweepCfg,
+}
+
+impl SweepBuilder {
+    /// First seed (`--start`).
+    pub fn start(mut self, s: u64) -> Self {
+        self.cfg.start = s;
+        self
+    }
+
+    /// Seed count (`--seeds`).
+    pub fn count(mut self, n: u64) -> Self {
+        self.cfg.count = n;
+        self
+    }
+
+    /// Worker threads; 0 = auto (`--jobs`).
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.cfg.jobs = n;
+        self
+    }
+
+    /// Failure-retention cap (`--max-failures`).
+    pub fn max_failures(mut self, n: usize) -> Self {
+        self.cfg.max_failures = n;
+        self
+    }
+
+    /// ddmin-minimize retained failures (`--shrink-failures`).
+    pub fn shrink_failures(mut self, on: bool) -> Self {
+        self.cfg.shrink_failures = on;
+        self
+    }
+
+    /// Persistent per-worker executor pools (`--no-pool` turns off).
+    pub fn use_pool(mut self, on: bool) -> Self {
+        self.cfg.use_pool = on;
+        self
+    }
+
+    /// Total rank-thread budget; 0 = auto (`--threads-budget`).
+    pub fn threads_budget(mut self, n: usize) -> Self {
+        self.cfg.threads_budget = n;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<SweepCfg, SweepError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -174,14 +252,15 @@ pub struct SweepReport {
     pub dropped_failures: u64,
     /// Wall-clock duration of the sweep (excludes corpus writing).
     pub elapsed: Duration,
-    /// Handoff-path counters summed over every seed run (grants,
-    /// elided handoffs, parks, spins — `dst explore --stats`).
-    pub handoff: HandoffStats,
-    /// Heap-allocation counters summed over every seed run
-    /// ([`Observation::alloc`]); `dst explore --stats` divides by
-    /// `count` for allocations per schedule. Zeros unless the binary
-    /// installs [`allocstats::StatsAlloc`] (the `dst` binary does).
-    pub alloc: AllocStats,
+    /// Every statistic family on the one [`RunStats`] surface:
+    /// `handoff` and `alloc` are summed over every seed run (`dst
+    /// explore --stats` divides by `count` for per-schedule numbers;
+    /// alloc is zeros unless the binary installs
+    /// [`allocstats::StatsAlloc`] — the `dst` binary does), and
+    /// `coverage` is the **true union** over all runs: distinct
+    /// `(rank, decision-kind, phase)` edges the whole sweep touched,
+    /// with its order-independent signature.
+    pub stats: RunStats,
 }
 
 impl SweepReport {
@@ -207,20 +286,74 @@ impl SweepReport {
         lines
     }
 
-    /// Write the failing seeds as a corpus of one-line repros. Returns
-    /// `Ok(false)` without touching the filesystem when there are no
-    /// failures, so CI can upload the file exactly when it exists.
-    pub fn write_corpus(&self, path: &Path, scenario: &ScenarioCfg) -> std::io::Result<bool> {
+    /// Write the failing seeds as a corpus of one-line repros. When
+    /// there are no failures the filesystem is untouched (CI uploads
+    /// the file exactly when it exists) and the summary reports zero
+    /// lines. Otherwise the returned [`CorpusWrite`] says where the
+    /// file went, how many repro lines it holds, and how many failing
+    /// seeds were beyond the retention cap (rendered as a trailing
+    /// comment marker, counted here so truncation is never silent).
+    pub fn write_corpus(
+        &self,
+        path: &Path,
+        scenario: &ScenarioCfg,
+    ) -> std::io::Result<CorpusWrite> {
+        let summary = CorpusWrite {
+            path: path.to_path_buf(),
+            lines: self.failures.len(),
+            overflow: self.dropped_failures,
+        };
         if self.failures.is_empty() {
-            return Ok(false);
+            return Ok(summary);
         }
-        let mut f = std::fs::File::create(path)?;
-        for line in self.corpus_lines(scenario) {
-            writeln!(f, "{line}")?;
-        }
-        f.flush()?;
-        Ok(true)
+        write_lines(path, &self.corpus_lines(scenario))?;
+        Ok(summary)
     }
+}
+
+/// What [`SweepReport::write_corpus`] did: where, how much, and what
+/// fell past the retention cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusWrite {
+    /// Destination path (as given by the caller).
+    pub path: PathBuf,
+    /// Repro lines written. `0` means no failures — the file was not
+    /// created or touched.
+    pub lines: usize,
+    /// Failing seeds beyond the retention cap, counted in the file's
+    /// trailing overflow marker.
+    pub overflow: u64,
+}
+
+impl CorpusWrite {
+    /// Whether a file was actually created.
+    pub fn created(&self) -> bool {
+        self.lines > 0
+    }
+}
+
+impl std::fmt::Display for CorpusWrite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.created() {
+            return write!(f, "no failures; corpus {} not written", self.path.display());
+        }
+        write!(f, "wrote {} repro line(s) to {}", self.lines, self.path.display())?;
+        if self.overflow > 0 {
+            write!(f, " (+{} beyond the retention cap)", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+/// Write pre-rendered corpus lines to `path` — the shared sink behind
+/// [`SweepReport::write_corpus`], [`crate::fuzz::FuzzReport::write_corpus`],
+/// and the CLI's cross-shape aggregation.
+pub fn write_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    f.flush()
 }
 
 ///// One line per failure: seed, verdict, schedule, and a paste-able
@@ -259,16 +392,21 @@ fn corpus_line(fail: &FailureSummary, scenario: &ScenarioCfg) -> String {
     line
 }
 
-/// The streaming aggregator workers fold verdicts into.
-struct Aggregate {
+/// The streaming aggregator workers fold verdicts into. This is the
+/// single merge/attribution site for the whole chain: per-run
+/// [`RunStats`] merge here, and the coverage union is tracked exactly
+/// (a `BTreeSet` of edge hashes — deterministic, order-independent)
+/// rather than by the disjoint-union approximation.
+pub(crate) struct Aggregate {
     green: u64,
     failing: u64,
     hung: u64,
     dropped: u64,
     cap: usize,
     failures: BTreeMap<u64, FailureSummary>,
-    handoff: HandoffStats,
-    alloc: AllocStats,
+    stats: RunStats,
+    /// Union of every run's coverage edges.
+    edges: BTreeSet<u64>,
 }
 
 impl Aggregate {
@@ -280,15 +418,30 @@ impl Aggregate {
             dropped: 0,
             cap,
             failures: BTreeMap::new(),
-            handoff: HandoffStats::default(),
-            alloc: AllocStats::default(),
+            stats: RunStats::default(),
+            edges: BTreeSet::new(),
         }
     }
 
+    /// The aggregated stats with `coverage` overwritten from the exact
+    /// edge union (signature = XOR over the union's members).
+    fn run_stats(&self) -> RunStats {
+        let mut stats = self.stats;
+        stats.coverage = CoverageStats {
+            edges: self.edges.len() as u64,
+            signature: self.edges.iter().fold(0, |d, e| d ^ e),
+        };
+        stats
+    }
+
     fn record(&mut self, verdict: SeedVerdict) {
-        let SeedVerdict { hung, failure, handoff, alloc } = verdict;
-        self.handoff.add(&handoff);
-        self.alloc.add(&alloc);
+        let SeedVerdict { hung, failure, stats, coverage } = verdict;
+        // `stats.coverage` folds as the approximation; `run_stats()`
+        // overwrites it from the exact union below.
+        self.stats.merge(&stats);
+        for e in coverage.iter() {
+            self.edges.insert(e);
+        }
         if hung {
             self.hung += 1;
         }
@@ -311,11 +464,13 @@ impl Aggregate {
 }
 
 /// The compact per-seed result a worker streams into the aggregator.
-struct SeedVerdict {
+pub(crate) struct SeedVerdict {
     hung: bool,
     failure: Option<FailureSummary>,
-    handoff: HandoffStats,
-    alloc: AllocStats,
+    stats: RunStats,
+    /// The run's full edge set, moved out of the observation so the
+    /// aggregator can union exactly.
+    coverage: CoverageSet,
 }
 
 /// Run one seed and fold it into a verdict.
@@ -328,20 +483,31 @@ struct SeedVerdict {
 /// schedule, so the log is recoverable on demand instead of being paid
 /// for on every green seed.
 fn verdict_of(seed: u64, scenario: &ScenarioCfg, runner: Option<&mut SeedRunner>) -> SeedVerdict {
-    let obs = match runner {
-        Some(r) => r.run_seed_quiet(seed, scenario),
-        None => run_seed_quiet(seed, scenario),
-    };
-    fold_verdict(seed, obs)
+    match runner {
+        Some(r) => {
+            let mut obs = r.run_seed_quiet(seed, scenario);
+            let verdict = fold_verdict(seed, &mut obs);
+            // The observation's buffers go back to the runner: the
+            // next seed's schedule copy reuses them (§8.10).
+            r.recycle(obs);
+            verdict
+        }
+        None => {
+            let mut obs = run_seed_quiet(seed, scenario);
+            fold_verdict(seed, &mut obs)
+        }
+    }
 }
 
 /// Judge one observation and compress it to the streaming verdict.
-fn fold_verdict(seed: u64, obs: Observation) -> SeedVerdict {
-    let handoff = obs.handoff;
-    let alloc = obs.alloc;
-    let violations = check_all(&obs);
+/// Takes the observation by `&mut` so its coverage set can be moved
+/// out and the caller can recycle the remaining buffers.
+pub(crate) fn fold_verdict(seed: u64, obs: &mut Observation) -> SeedVerdict {
+    let stats = obs.stats;
+    let coverage = std::mem::replace(&mut obs.coverage, CoverageSet::empty());
+    let violations = check_all(obs);
     if violations.is_empty() {
-        return SeedVerdict { hung: obs.hung, failure: None, handoff, alloc };
+        return SeedVerdict { hung: obs.hung, failure: None, stats, coverage };
     }
     let mut oracles: Vec<String> = Vec::new();
     for v in &violations {
@@ -357,10 +523,10 @@ fn fold_verdict(seed: u64, obs: Observation) -> SeedVerdict {
         hung: obs.hung,
         // The trace survives Retention::Quiet precisely so that a hang
         // can be triaged here without re-running the seed.
-        triage: if obs.hung { crate::triage::triage(&obs).one_line() } else { String::new() },
+        triage: if obs.hung { crate::triage::triage(obs).one_line() } else { String::new() },
         shrunk: None,
     };
-    SeedVerdict { hung: obs.hung, failure: Some(summary), handoff, alloc }
+    SeedVerdict { hung: obs.hung, failure: Some(summary), stats, coverage }
 }
 
 /// Sweep `cfg.count` seeds from `cfg.start` over a worker pool and
@@ -372,15 +538,7 @@ fn fold_verdict(seed: u64, obs: Observation) -> SeedVerdict {
 /// minimizes each retained failure after the sweep.
 pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, SweepError> {
     scenario.validate().map_err(SweepError::InvalidConfig)?;
-    if cfg.count == 0 {
-        return Err(SweepError::InvalidConfig("seed count must be at least 1".into()));
-    }
-    // The satellite bug this engine inherits from the serial path:
-    // `start..start + count` must not wrap. Checked here, once, with a
-    // clean error instead of a debug panic / silent empty range.
-    cfg.start
-        .checked_add(cfg.count)
-        .ok_or(SweepError::SeedRangeOverflow { start: cfg.start, count: cfg.count })?;
+    cfg.validate()?;
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     // Size workers against the total rank-thread budget rather than the
@@ -400,7 +558,7 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
     // the budget — spinning in the handoff paths only burns cycles
     // another worker's runnable rank could use. Force it off unless the
     // caller pinned an explicit spin limit.
-    let mut scenario = scenario.clone();
+    let mut scenario = *scenario;
     if scenario.tuning.spin.is_none() && jobs.saturating_mul(scenario.ranks) >= cores {
         scenario.tuning.spin = Some(0);
     }
@@ -463,11 +621,10 @@ pub fn sweep(cfg: &SweepCfg, scenario: &ScenarioCfg) -> Result<SweepReport, Swee
         green: agg.green,
         failing: agg.failing,
         hung: agg.hung,
+        stats: agg.run_stats(),
         failures: agg.failures,
         dropped_failures: agg.dropped,
         elapsed: begun.elapsed(),
-        handoff: agg.handoff,
-        alloc: agg.alloc,
     })
 }
 
@@ -511,8 +668,8 @@ mod tests {
         let verdict = |seed| SeedVerdict {
             hung: false,
             failure: Some(fail(seed)),
-            handoff: HandoffStats::default(),
-            alloc: AllocStats::default(),
+            stats: RunStats::default(),
+            coverage: CoverageSet::empty(),
         };
         let mut a = Aggregate::new(2);
         let mut b = Aggregate::new(2);
@@ -527,6 +684,44 @@ mod tests {
         assert_eq!(keys(&a), keys(&b));
         assert_eq!(a.dropped, 2);
         assert_eq!(a.failing, 4);
+    }
+
+    /// The aggregator's coverage is the exact union, not the summed
+    /// approximation: overlapping runs must not double-count edges or
+    /// cancel signatures.
+    #[test]
+    fn aggregate_coverage_is_the_exact_union() {
+        let mk = |edges: &[u64]| {
+            let mut c = CoverageSet::new();
+            for &e in edges {
+                c.insert(e);
+            }
+            SeedVerdict {
+                hung: false,
+                failure: None,
+                stats: RunStats { coverage: c.stats(), ..Default::default() },
+                coverage: c,
+            }
+        };
+        let mut agg = Aggregate::new(4);
+        agg.record(mk(&[10, 20]));
+        agg.record(mk(&[20, 30]));
+        agg.record(mk(&[10, 20]));
+        let stats = agg.run_stats();
+        assert_eq!(stats.coverage.edges, 3);
+        assert_eq!(stats.coverage.signature, 10 ^ 20 ^ 30);
+        assert_eq!(agg.green, 3);
+    }
+
+    #[test]
+    fn sweep_builder_validates_in_one_place() {
+        assert!(SweepCfg::builder().count(0).build().is_err());
+        assert!(matches!(
+            SweepCfg::builder().start(u64::MAX).count(2).build(),
+            Err(SweepError::SeedRangeOverflow { .. })
+        ));
+        let cfg = SweepCfg::builder().start(5).count(10).jobs(2).build().unwrap();
+        assert_eq!((cfg.start, cfg.count, cfg.jobs), (5, 10, 2));
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn measure(runner: &mut SeedRunner, cfg: &ScenarioCfg) -> f64 {
     for seed in SEEDS {
         let obs = runner.run_seed_quiet(seed, cfg);
         assert!(!obs.hung, "seed {seed:#x} hung during the ceiling pass");
-        allocs += obs.alloc.allocs;
+        allocs += obs.stats.alloc.allocs;
     }
     allocs as f64 / (SEEDS.end - SEEDS.start) as f64
 }

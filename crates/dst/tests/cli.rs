@@ -114,3 +114,89 @@ fn explore_all_shapes_prints_per_shape_summaries() {
         );
     }
 }
+
+/// `fuzz` gates its flags like every other subcommand: no shape (it
+/// seeds across all of them), no buggy mode, no sweep fan-out knobs,
+/// and `--budget` belongs to fuzz alone.
+#[test]
+fn fuzz_flag_gating() {
+    for (args, needle) in [
+        (vec!["fuzz", "--shape", "pair"], "--shape does not apply to fuzz"),
+        (vec!["fuzz", "--buggy"], "--buggy does not apply to fuzz"),
+        (vec!["fuzz", "--budget", "0"], "--budget must be at least 1"),
+        (vec!["fuzz", "--jobs", "2"], "--jobs only applies to explore"),
+        (vec!["fuzz", "--no-pool"], "--no-pool only applies to explore"),
+        (vec!["fuzz", "--shrink-failures"], "--shrink-failures only applies to explore"),
+        (vec!["fuzz", "--threads-budget", "8"], "--threads-budget only applies to explore"),
+        (vec!["explore", "--seeds", "1", "--budget", "10"], "--budget only applies to fuzz"),
+        (vec!["replay", "--seed", "3", "--stats"], "--stats only applies to explore and fuzz"),
+    ] {
+        let out = dst(&args);
+        assert!(!out.status.success(), "{args:?} was accepted");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?} produced unexpected stderr: {err}");
+    }
+}
+
+/// A small fuzz campaign on the hardened ring: exit 0, a summary line
+/// with coverage numbers, and `--stats` adds the full RunStats surface
+/// (handoff, alloc, coverage) — the same three families explore
+/// reports.
+#[test]
+fn fuzz_runs_green_and_reports_coverage() {
+    let out = dst(&["fuzz", "--budget", "80", "--seed", "7", "--stats"]);
+    assert!(out.status.success(), "fuzz failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("fuzzed 80 schedules"), "summary missing: {text}");
+    assert!(text.contains("distinct coverage edges"), "coverage missing: {text}");
+    assert!(text.contains("stats [fuzz]:"), "handoff stats missing: {text}");
+    assert!(text.contains("alloc [fuzz]:"), "alloc stats missing: {text}");
+    assert!(text.contains("coverage [fuzz]:"), "coverage stats missing: {text}");
+}
+
+/// Two CLI invocations with the same master seed print identical
+/// summaries apart from wall-clock timings — the user-visible face of
+/// the determinism contract.
+#[test]
+fn fuzz_cli_is_deterministic_across_invocations() {
+    let tmp = std::env::temp_dir();
+    let c1 = tmp.join("dst_fuzz_cli_det_1.corpus");
+    let c2 = tmp.join("dst_fuzz_cli_det_2.corpus");
+    let run = |path: &std::path::Path| {
+        let out = dst(&["fuzz", "--budget", "60", "--seed", "11", "--corpus",
+                        path.to_str().unwrap()]);
+        assert!(out.status.success(), "fuzz failed: {}", stderr(&out));
+        std::fs::read_to_string(path).expect("corpus written")
+    };
+    let a = run(&c1);
+    let b = run(&c2);
+    let _ = std::fs::remove_file(&c1);
+    let _ = std::fs::remove_file(&c2);
+    assert_eq!(a, b, "evolved corpus files diverged between identical invocations");
+    assert!(a.starts_with("# dst fuzz corpus v1"), "corpus header missing: {a}");
+}
+
+/// An explore sweep's `--corpus` output goes through the shared
+/// `CorpusWrite` summary: clean runs say so without touching the
+/// filesystem; failing runs report the line count.
+#[test]
+fn explore_corpus_write_summary() {
+    let tmp = std::env::temp_dir();
+    let clean = tmp.join("dst_cli_corpus_clean.txt");
+    let out = dst(&["explore", "--seeds", "2", "--corpus", clean.to_str().unwrap()]);
+    assert!(out.status.success(), "clean explore failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("not written"), "missing no-write summary");
+    assert!(!clean.exists(), "clean sweep created a corpus file");
+
+    let failing = tmp.join("dst_cli_corpus_failing.txt");
+    let out = dst(&["explore", "--seeds", "1", "--start", "0x2d", "--buggy",
+                    "--corpus", failing.to_str().unwrap()]);
+    assert!(!out.status.success(), "buggy seed 0x2d no longer fails");
+    assert!(
+        stdout(&out).contains("wrote 1 repro line(s)"),
+        "missing write summary: {}",
+        stdout(&out)
+    );
+    assert!(failing.exists());
+    let _ = std::fs::remove_file(&failing);
+}

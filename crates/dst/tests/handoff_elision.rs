@@ -18,12 +18,12 @@ fn disabled_tuning_reports_zero_elisions() {
     for seed in [0x1u64, 0x2d, 0x77, 0x1234] {
         let obs = run_seed(seed, &tuned(SchedTuning::disabled()));
         assert_eq!(
-            obs.handoff.elided(),
+            obs.stats.handoff.elided(),
             0,
             "seed {seed:#x}: elided handoffs with fast paths disabled"
         );
-        assert_eq!(obs.handoff.self_grants, 0, "seed {seed:#x}");
-        assert_eq!(obs.handoff.spin_grants, 0, "seed {seed:#x}");
+        assert_eq!(obs.stats.handoff.self_grants, 0, "seed {seed:#x}");
+        assert_eq!(obs.stats.handoff.spin_grants, 0, "seed {seed:#x}");
     }
 }
 
@@ -35,10 +35,10 @@ fn default_tuning_elides_handoffs_on_ring_workloads() {
     for seed in [0x1u64, 0x2d, 0x77, 0x1234] {
         let obs = run_seed(seed, &ScenarioCfg { ranks: 4, ..ScenarioCfg::default() });
         assert!(
-            obs.handoff.elided() > 0,
+            obs.stats.handoff.elided() > 0,
             "seed {seed:#x}: no elided handoffs on a ring workload"
         );
-        assert!(obs.handoff.grants >= obs.handoff.elided(), "seed {seed:#x}");
+        assert!(obs.stats.handoff.grants >= obs.stats.handoff.elided(), "seed {seed:#x}");
     }
 }
 

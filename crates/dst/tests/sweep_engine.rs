@@ -154,7 +154,10 @@ fn corpus_file_is_written_only_when_failures_exist() {
     let green = sweep(&cfg, &scenario).unwrap();
     assert_eq!(green.failing, 0);
     let empty_path = dir.join("green.corpus");
-    assert!(!green.write_corpus(&empty_path, &scenario).unwrap());
+    let no_write = green.write_corpus(&empty_path, &scenario).unwrap();
+    assert!(!no_write.created());
+    assert_eq!(no_write.lines, 0);
+    assert!(format!("{no_write}").contains("not written"));
     assert!(!empty_path.exists());
 
     // Buggy range: file exists, one line per retained failure.
@@ -162,7 +165,11 @@ fn corpus_file_is_written_only_when_failures_exist() {
     let cfg = SweepCfg { start: 0x2d, count: 1, jobs: 1, ..SweepCfg::default() };
     let report = sweep(&cfg, &buggy).unwrap();
     let path = dir.join("fail.corpus");
-    assert!(report.write_corpus(&path, &buggy).unwrap());
+    let wrote = report.write_corpus(&path, &buggy).unwrap();
+    assert!(wrote.created());
+    assert_eq!(wrote.lines, report.failures.len());
+    assert_eq!(wrote.overflow, report.dropped_failures);
+    assert_eq!(wrote.path, path);
     let text = std::fs::read_to_string(&path).unwrap();
     assert_eq!(text.lines().count(), report.failures.len());
     assert!(text.contains("seed=0x2d"));

@@ -33,7 +33,7 @@ pub mod trigger;
 pub use injector::{Decision, Injector};
 pub use plan::{FaultAction, FaultPlan, FaultRule};
 pub use random::{RandomFaults, RandomFaultsBuilder};
-pub use sched::{ChoiceKind, HandoffStats, SchedHook, SchedPoint, StepOutcome};
+pub use sched::{ChoiceKind, CoverageStats, HandoffStats, RunStats, SchedHook, SchedPoint, StepOutcome};
 pub use schedule::{AsyncSchedule, KillHandle};
 pub use trigger::{Hook, HookKind, PeerMatch, TagMatch, Trigger};
 

@@ -86,7 +86,8 @@ pub enum StepOutcome {
 /// win per run instead of inferring it from throughput.
 ///
 /// All counters are cumulative since the hook was constructed (or
-/// reset). The default [`SchedHook::handoff_stats`] returns zeros.
+/// reset), and travel as the `handoff` field of [`RunStats`] (the
+/// default [`SchedHook::run_stats`] returns zeros).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HandoffStats {
     /// Logical steps taken (grant attempts, including the one that
@@ -136,6 +137,77 @@ impl HandoffStats {
     }
 }
 
+/// Schedule-coverage counters reported by a [`SchedHook`].
+///
+/// A coverage-tracking scheduler hashes every decision it makes into a
+/// per-run *edge set* — an edge is `(rank, decision-kind,
+/// protocol-phase)`, where the protocol phase is the number of
+/// fail-stops delivered so far (saturated), so the same decision kind
+/// before the first failure, during first repair, and during stacked
+/// repair count as distinct protocol behavior. The set itself stays
+/// inside the scheduler (the `dst` fuzzer harvests it for novelty
+/// search); what travels through [`RunStats`] are the two summary
+/// numbers every consumer needs: how many distinct edges the run
+/// touched, and an order-independent digest of the set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Distinct coverage edges. Per run: the run's edge-set size.
+    /// After [`RunStats::merge`]: the *union* size when the merging
+    /// aggregator tracks the union (the `dst` sweep/fuzz engines do),
+    /// else the sum of per-run sizes.
+    pub edges: u64,
+    /// XOR of the per-edge hashes — an order-independent digest of the
+    /// edge set, so two runs (or two whole campaigns) covering the
+    /// same edges report byte-identical signatures.
+    pub signature: u64,
+}
+
+impl CoverageStats {
+    /// Fold another edge-set summary in as a disjoint-union
+    /// approximation: sizes add, digests XOR. Exact only when the sets
+    /// are disjoint; aggregators that track the true union overwrite
+    /// the result (see [`RunStats::merge`]).
+    pub fn add(&mut self, other: &CoverageStats) {
+        self.edges += other.edges;
+        self.signature ^= other.signature;
+    }
+}
+
+/// Every per-run statistic the harness chain carries, as one value.
+///
+/// Before this struct existed, `RunReport`, the `dst` `Observation`,
+/// and the sweep aggregator each threaded `HandoffStats` and an
+/// allocation tally as separate parameters, and every new counter
+/// family meant touching the whole chain again. `RunStats` is the
+/// single extensible surface: the scheduler contributes `handoff` and
+/// `coverage` (via [`SchedHook::run_stats`]), the executor pool
+/// contributes `alloc`, and aggregation is one [`RunStats::merge`]
+/// call wherever runs are summed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Handoff-path performance counters (context-switch elision).
+    pub handoff: HandoffStats,
+    /// Schedule-coverage summary (distinct decision edges + digest).
+    pub coverage: CoverageStats,
+    /// Heap-allocation traffic attributed to the run. Zeros unless the
+    /// final binary installs `allocstats::StatsAlloc` as its global
+    /// allocator (the `dst` harness does).
+    pub alloc: allocstats::AllocStats,
+}
+
+impl RunStats {
+    /// Accumulate another run's statistics (sweep/fuzz aggregation).
+    ///
+    /// `coverage` folds as a disjoint-union approximation; an
+    /// aggregator that tracks the true edge union should overwrite
+    /// `self.coverage` from that union after the campaign.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.handoff.add(&other.handoff);
+        self.coverage.add(&other.coverage);
+        self.alloc.add(&other.alloc);
+    }
+}
+
 /// Scheduling decisions driven by a test harness. See the module docs
 /// for the runtime's calling contract.
 pub trait SchedHook: Send + Sync {
@@ -159,10 +231,12 @@ pub trait SchedHook: Send + Sync {
         0
     }
 
-    /// Handoff-path performance counters accumulated so far. Hooks
-    /// without elision machinery report zeros.
-    fn handoff_stats(&self) -> HandoffStats {
-        HandoffStats::default()
+    /// Per-run statistics accumulated so far (handoff counters +
+    /// coverage summary; the `alloc` field is filled in by the
+    /// executor, not the scheduler). Hooks without instrumentation
+    /// report zeros.
+    fn run_stats(&self) -> RunStats {
+        RunStats::default()
     }
 }
 
@@ -197,9 +271,10 @@ mod tests {
         assert_eq!(hook.choose(0, ChoiceKind::Drain, 3), 0);
         hook.on_kill(2);
         assert_eq!(hook.now(), 0);
-        let stats = hook.handoff_stats();
-        assert_eq!(stats, HandoffStats::default());
-        assert_eq!(stats.elided(), 0);
+        let stats = hook.run_stats();
+        assert_eq!(stats, RunStats::default());
+        assert_eq!(stats.handoff.elided(), 0);
+        assert_eq!(stats.coverage.edges, 0);
     }
 
     #[test]
@@ -221,5 +296,30 @@ mod tests {
         assert_eq!(total.grants, 18);
         assert_eq!(total.elided(), 10);
         assert_eq!(total.park_safety_timeouts, 2);
+    }
+
+    #[test]
+    fn run_stats_merge_folds_all_families() {
+        let mut total = RunStats::default();
+        let one = RunStats {
+            handoff: HandoffStats { steps: 5, grants: 4, ..Default::default() },
+            coverage: CoverageStats { edges: 3, signature: 0xF0 },
+            alloc: allocstats::AllocStats {
+                allocs: 7,
+                deallocs: 6,
+                bytes_alloc: 256,
+                bytes_freed: 192,
+            },
+        };
+        total.merge(&one);
+        total.merge(&one);
+        assert_eq!(total.handoff.steps, 10);
+        // Disjoint-union approximation: sizes add, signatures XOR
+        // (identical sets cancel — the aggregator overwrites from the
+        // true union when it tracks one).
+        assert_eq!(total.coverage.edges, 6);
+        assert_eq!(total.coverage.signature, 0);
+        assert_eq!(total.alloc.allocs, 14);
+        assert_eq!(total.alloc.bytes_alloc, 512);
     }
 }

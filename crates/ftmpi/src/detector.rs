@@ -175,15 +175,25 @@ impl FailureRegistry {
     }
 
     /// Terminal-state check for the incarnation `(me, my_gen)`: errors
-    /// if the job aborted, `me` is failed, or `me` was respawned past
-    /// this incarnation (an older thread must unwind).
+    /// if `me` is failed, `me` was respawned past this incarnation (an
+    /// older thread must unwind), or the job aborted.
+    ///
+    /// Self-death is checked FIRST. A fail-stopped process cannot
+    /// observe a job teardown that raced its own death, so when a kill
+    /// and an abort land in the same window the rank must unwind as
+    /// `SelfFailed` (outcome `Failed`), not `Aborted` — otherwise a
+    /// lone survivor's legitimate `MPI_Abort` rewrites the outcome of
+    /// a rank the whole world already saw fail-stop, and the
+    /// ring-completion oracle (rightly) calls that a violation. Found
+    /// by `dst fuzz`: a spliced 3-kill schedule whose last kill fires
+    /// one grant before the survivor's abort.
     pub fn check_alive(&self, me: WorldRank, my_gen: u32) -> Result<()> {
-        if let Some(code) = self.aborted() {
-            return Err(Error::Aborted { code });
-        }
         let v = self.states[me].load(Ordering::Acquire);
         if v & FAILED_BIT != 0 || (v >> 1) as u32 != my_gen {
             return Err(Error::SelfFailed);
+        }
+        if let Some(code) = self.aborted() {
+            return Err(Error::Aborted { code });
         }
         Ok(())
     }
@@ -266,14 +276,19 @@ mod tests {
         assert!(r.check_alive(1, 0).is_ok());
     }
 
+    /// A rank that fail-stopped before (or while) the job aborted
+    /// unwinds as `SelfFailed` — its death is a fact the whole world
+    /// already observed; the teardown only reaches ranks still alive.
+    /// (The old precedence let a lone survivor's abort rewrite a
+    /// killed rank's outcome to `Aborted`; `dst fuzz` found the race.)
     #[test]
-    fn abort_wins_over_self_failure_reporting() {
+    fn self_failure_wins_over_abort_reporting() {
         let r = FailureRegistry::new(2);
         r.kill(0);
         assert!(r.abort(9));
         assert!(!r.abort(10), "abort is idempotent, first code wins");
         assert_eq!(r.aborted(), Some(9));
-        assert_eq!(r.check_alive(0, 0), Err(Error::Aborted { code: 9 }));
+        assert_eq!(r.check_alive(0, 0), Err(Error::SelfFailed));
         assert_eq!(r.check_alive(1, 0), Err(Error::Aborted { code: 9 }));
     }
 

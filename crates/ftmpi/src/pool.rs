@@ -539,9 +539,10 @@ impl UniversePool {
         }
         let generations = (0..n).map(|r| shared.registry.generation(r)).collect();
         let park_timeouts = shared.fabric.park_timeouts();
-        let mut handoff =
-            shared.sched.as_ref().map(|s| s.handoff_stats()).unwrap_or_default();
-        handoff.park_safety_timeouts = park_timeouts;
+        let mut stats =
+            shared.sched.as_ref().map(|s| s.run_stats()).unwrap_or_default();
+        stats.handoff.park_safety_timeouts = park_timeouts;
+        stats.alloc = self.core.alloc.harvest();
         let outcomes = outcomes
             .into_inner()
             .into_iter()
@@ -554,8 +555,7 @@ impl UniversePool {
             duration: start.elapsed(),
             generations,
             park_timeouts,
-            handoff,
-            alloc: self.core.alloc.harvest(),
+            stats,
         };
         // Keep the universe state warm for the next run.
         self.shared = Some(shared);

@@ -18,9 +18,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use faultsim::{AsyncSchedule, FaultPlan, HandoffStats, Injector, SchedHook};
+use faultsim::{AsyncSchedule, FaultPlan, Injector, RunStats, SchedHook};
 
-use allocstats::AllocStats;
 
 use crate::coord::CommBoard;
 use crate::detector::FailureRegistry;
@@ -271,17 +270,17 @@ pub struct RunReport<T> {
     /// missed-notification bug; idle waits (async kill schedules,
     /// respawn delays, watchdog hangs) fire it benignly.
     pub park_timeouts: u64,
-    /// Handoff-path performance counters from the simulation scheduler
-    /// (zeros in wall-clock mode), with `park_safety_timeouts` mirrored
-    /// from the transport. See [`faultsim::HandoffStats`].
-    pub handoff: HandoffStats,
-    /// Heap-allocation traffic of the rank workers' job bodies during
-    /// this run, summed across ranks (the caller thread's share —
-    /// schedule derivation, report assembly — is the caller's to
-    /// measure). All zeros unless the final binary installs
+    /// Every per-run statistic, on the one [`faultsim::RunStats`]
+    /// surface: `handoff` and `coverage` come from the simulation
+    /// scheduler (zeros in wall-clock mode) with
+    /// `handoff.park_safety_timeouts` mirrored from the transport;
+    /// `alloc` is the heap traffic of the rank workers' job bodies,
+    /// summed across ranks (the caller thread's share — schedule
+    /// derivation, report assembly — is the caller's to measure), all
+    /// zeros unless the final binary installs
     /// [`allocstats::StatsAlloc`] as its global allocator; the `dst`
     /// harness does (DESIGN.md §8.10).
-    pub alloc: AllocStats,
+    pub stats: RunStats,
 }
 
 impl<T> RunReport<T> {
